@@ -1,0 +1,47 @@
+// Ablation — PPM without parallelism (T = 1): the paper's §III-B/§IV claim
+// that PPM "can achieve performance improvement without triggering
+// parallelism" purely from partitioning + sequence optimization (C4 < C1).
+// On this single-core host the wall-clock numbers are the real thing, no
+// modeling involved.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  bench::banner("Ablation", "PPM at T=1 — cost reduction only, no threads");
+  const std::size_t r = 16;
+  const std::size_t z = 1;
+
+  std::printf("%4s %2s %2s  %10s %10s %10s  %12s\n", "n", "m", "s",
+              "trad-ops", "ppm-ops", "op-saving", "wall-impr");
+  double sum = 0;
+  std::size_t count = 0;
+  for (const std::size_t m : {1u, 2u, 3u}) {
+    for (const std::size_t s : {1u, 2u, 3u}) {
+      for (const std::size_t n : {6u, 11u, 16u, 21u}) {
+        const unsigned w = SDCode::recommended_width(n, r);
+        const SDCode code(n, r, m, s, w);
+        const std::size_t block =
+            bench::block_bytes_for(n * r, code.field().symbol_bytes());
+        const auto pt = bench::compare_sd(code, m, s, z, /*threads=*/1,
+                                          0xAB2A + n * 100 + m * 10 + s,
+                                          block);
+        const double saving =
+            100.0 * (static_cast<double>(pt.c1) - static_cast<double>(pt.ppm_ops)) /
+            static_cast<double>(pt.c1);
+        std::printf("%4zu %2zu %2zu  %10zu %10zu %9.2f%%  %11.2f%%\n", n, m,
+                    s, pt.c1, pt.ppm_ops, saving,
+                    100 * pt.measured_improvement());
+        sum += pt.measured_improvement();
+        ++count;
+      }
+    }
+  }
+  std::printf("\naverage single-thread wall improvement: %.2f%%\n",
+              100 * sum / count);
+  std::printf("(every percent here comes from mult_XOR reduction — "
+              "C4 < C1 — not from threads)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation — why PPM targets *asymmetric* codes: run the identical PPM
+// machinery over the symmetric codes the paper contrasts against (EVENODD,
+// RDP, RS) and over the asymmetric ones (SD, LRC, Xorbas LRC), under each
+// code's design failure. For symmetric codes at full fault tolerance the
+// log table finds no repeated signatures, p collapses to 0 and PPM
+// degenerates to the traditional decoder — the paper's §I/§II premise,
+// executed. (Single-disk rebuilds partition even for symmetric codes; the
+// last column shows that contrast.)
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace ppm;
+
+namespace {
+
+struct Row {
+  const char* label;
+  const ErasureCode* code;
+  FailureScenario worst;   // the code's design failure
+  FailureScenario single;  // a single-disk / single-strip failure
+};
+
+void report(const Row& row) {
+  const auto costs_worst = analyze_costs(*row.code, row.worst);
+  const auto costs_single = analyze_costs(*row.code, row.single);
+  if (!costs_worst || !costs_single) {
+    std::printf("%-22s  (undecodable scenario?)\n", row.label);
+    return;
+  }
+  const double saving =
+      100.0 *
+      (static_cast<double>(costs_worst->c1) -
+       static_cast<double>(costs_worst->ppm_best())) /
+      static_cast<double>(costs_worst->c1);
+  std::printf("%-22s %8zu %10zu %10zu %9.2f%% %12zu\n", row.label,
+              costs_worst->p, costs_worst->c1, costs_worst->ppm_best(),
+              saving, costs_single->p);
+}
+
+std::vector<std::size_t> whole_disks(const ErasureCode& code,
+                                     std::initializer_list<std::size_t> ds) {
+  std::vector<std::size_t> out;
+  for (const std::size_t d : ds) {
+    for (std::size_t i = 0; i < code.rows(); ++i) {
+      out.push_back(code.block_id(i, d));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "PPM on symmetric vs asymmetric codes");
+  std::printf("%-22s %8s %10s %10s %10s %12s\n", "code (design failure)",
+              "p", "C1", "PPM-ops", "saving", "p(1 disk)");
+
+  // Symmetric codes, worst case = their full fault tolerance.
+  const EvenOddCode evenodd(7);
+  report({"EVENODD p=7 (2 disks)", &evenodd,
+          FailureScenario(whole_disks(evenodd, {0, 3})),
+          FailureScenario(whole_disks(evenodd, {2}))});
+
+  const RDPCode rdp(7);
+  report({"RDP p=7 (2 disks)", &rdp,
+          FailureScenario(whole_disks(rdp, {0, 3})),
+          FailureScenario(whole_disks(rdp, {2}))});
+
+  const RSCode rs(12, 4, 8);
+  report({"RS(12,4) (4 strips)", &rs, FailureScenario({0, 3, 7, 13}),
+          FailureScenario({5})});
+
+  const StarCode star(7);
+  report({"STAR p=7 (3 disks)", &star,
+          FailureScenario(whole_disks(star, {0, 2, 5})),
+          FailureScenario(whole_disks(star, {4}))});
+
+  // Asymmetric codes, worst case = disks + sectors / groups + extra.
+  const SDCode sd(8, 8, 2, 2, 8);
+  {
+    ScenarioGenerator gen(0xAB5A);
+    const auto worst = gen.sd_worst_case(sd, 2, 2, 1).scenario;
+    report({"SD 8x8 m=2 s=2", &sd, worst,
+            FailureScenario(whole_disks(sd, {1}))});
+  }
+
+  const LRCCode lrc(12, 3, 2, 8);
+  {
+    ScenarioGenerator gen(0xAB5B);
+    const auto worst = gen.lrc_failures(lrc, 3, 1).scenario;
+    report({"LRC(12,3,2)", &lrc, worst, FailureScenario({4})});
+  }
+
+  const XorbasLRCCode xorbas(10, 2, 4, 8);
+  report({"XorbasLRC(10,2,4)", &xorbas,
+          FailureScenario({0, 6, xorbas.global_parity_block(0)}),
+          FailureScenario({3})});
+
+  std::printf("\n(symmetric codes at design failure: p = 0 — nothing to "
+              "partition, PPM == traditional;\n asymmetric codes: p > 1 and "
+              "a real mult_XOR saving — the paper's premise)\n");
+  return 0;
+}

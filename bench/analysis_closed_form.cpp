@@ -1,0 +1,91 @@
+// §III-B numerical analysis — the statements between Figs. 4 and 6:
+//   * C1 - C4 = m^2 (z+1)(r-z) > 0 and C3 - C2 = m(r-1)(mz+s) > 0;
+//   * P(C4 > C2) ≈ 5% over configurations/failure scenarios, and when it
+//     happens n is small (4..5, never above 9);
+//   * the worked example's 17.14% reduction.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  bench::banner("Analysis(§III-B)", "closed-form identities and the C4>C2 census");
+
+  // Identities over the paper's full parameter box.
+  std::size_t checked = 0;
+  bool all_hold = true;
+  for (std::size_t n = 4; n <= 24; ++n) {
+    for (std::size_t r = 4; r <= 24; ++r) {
+      for (std::size_t m = 1; m <= 3 && m < n; ++m) {
+        for (std::size_t s = 1; s <= 3; ++s) {
+          for (std::size_t z = 1; z <= s; ++z) {
+            const ClosedFormCosts c = sd_closed_form(n, r, m, s, z);
+            const long long mm = static_cast<long long>(m);
+            const long long rr = static_cast<long long>(r);
+            const long long zz = static_cast<long long>(z);
+            const long long ss = static_cast<long long>(s);
+            all_hold &= (c.c1 - c.c4 == mm * mm * (zz + 1) * (rr - zz));
+            all_hold &= (c.c3 - c.c2 == mm * (rr - 1) * (mm * zz + ss));
+            ++checked;
+          }
+        }
+      }
+    }
+  }
+  std::printf("identities C1-C4 = m^2(z+1)(r-z) and C3-C2 = m(r-1)(mz+s): "
+              "%s over %zu configurations\n",
+              all_hold ? "HOLD" : "VIOLATED", checked);
+
+  // The C4 > C2 census over the same box (closed forms).
+  std::size_t total = 0;
+  std::size_t c4_gt_c2 = 0;
+  std::size_t max_n_when_gt = 0;
+  for (std::size_t n = 4; n <= 24; ++n) {
+    for (std::size_t r = 4; r <= 24; ++r) {
+      for (std::size_t m = 1; m <= 3 && m < n; ++m) {
+        for (std::size_t s = 1; s <= 3; ++s) {
+          for (std::size_t z = 1; z <= s; ++z) {
+            const ClosedFormCosts c = sd_closed_form(n, r, m, s, z);
+            ++total;
+            if (c.c4 > c.c2) {
+              ++c4_gt_c2;
+              max_n_when_gt = std::max(max_n_when_gt, n);
+            }
+          }
+        }
+      }
+    }
+  }
+  std::printf("P(C4 > C2) = %.2f%% (%zu / %zu); largest n with C4 > C2: %zu\n",
+              100.0 * c4_gt_c2 / total, c4_gt_c2, total, max_n_when_gt);
+  std::printf("(paper: ~5%%, and n <= 9 whenever C4 > C2)\n");
+
+  // The worked example's reduction.
+  const ClosedFormCosts ex = sd_closed_form(4, 4, 1, 1, 1);
+  std::printf("Fig.2 example: C1=%lld C2=%lld C3=%lld C4=%lld, reduction "
+              "(C1-C4)/C1 = %.2f%% (paper: 17.14%%)\n",
+              ex.c1, ex.c2, ex.c3, ex.c4,
+              100.0 * (ex.c1 - ex.c4) / ex.c1);
+
+  // Cross-check the closed forms against the empirical model on a sample.
+  std::printf("\nempirical vs closed-form on sampled worst cases (z=1):\n");
+  std::printf("%4s %2s %2s %2s  %8s %8s  %8s %8s\n", "n", "r", "m", "s",
+              "emp C1", "cf C1", "emp C4", "cf C4");
+  for (const std::size_t n : {6u, 11u, 16u, 21u}) {
+    const std::size_t r = 16;
+    for (const std::size_t m : {1u, 2u}) {
+      const std::size_t s = 2;
+      const unsigned w = SDCode::recommended_width(n, r);
+      const SDCode code(n, r, m, s, w);
+      ScenarioGenerator gen(0xA11A + n * 10 + m);
+      const auto g = gen.sd_worst_case(code, m, s, 1);
+      const auto emp = analyze_costs(code, g.scenario);
+      const ClosedFormCosts cf = sd_closed_form(n, r, m, s, 1);
+      if (!emp) continue;
+      std::printf("%4zu %2zu %2zu %2zu  %8zu %8lld  %8zu %8lld\n", n, r, m, s,
+                  emp->c1, cf.c1, emp->c4, cf.c4);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every fig*_ binary prints the same series the corresponding paper figure
+// plots, as aligned text tables (one row per x-axis point). Scale knobs,
+// common to all binaries:
+//
+//   PPM_STRIPE_MB  stripe size in MiB (default 8; the paper used 32)
+//   PPM_REPS       timed repetitions per data point (default 7; paper: 10)
+//
+// Single-core substitution (DESIGN.md §3): "measured" improvement compares
+// wall-clock times as-is (on this host the parallel phase serializes, so it
+// isolates PPM's cost-reduction benefit); "modeled" improvement uses
+// PpmResult::modeled_seconds(T), i.e. the measured per-task times scheduled
+// on T concurrent lanes — the paper's multi-core setting.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ppm.h"
+
+namespace ppm::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::size_t stripe_mib() { return env_size("PPM_STRIPE_MB", 8); }
+inline std::size_t reps() { return std::max<std::size_t>(env_size("PPM_REPS", 7), 1); }
+
+/// Block size for a stripe of `blocks` blocks totalling ~stripe_mib(),
+/// rounded down to a multiple of `symbol_bytes` (at least one symbol).
+inline std::size_t block_bytes_for(std::size_t blocks, unsigned symbol_bytes) {
+  std::size_t b = stripe_mib() * 1024 * 1024 / blocks;
+  b -= b % symbol_bytes;
+  return std::max<std::size_t>(b, symbol_bytes);
+}
+
+/// Median of a sample vector (destructive).
+inline double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Decode throughput in MB/s given stripe bytes processed per decode.
+inline double mb_per_s(std::size_t bytes, double seconds) {
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
+
+/// The paper's improvement ratio: (t_base - t_new) / t_new, i.e.
+/// speed_new / speed_base - 1. "210.81%" prints as 2.1081.
+inline double improvement(double t_base, double t_new) {
+  return t_base / t_new - 1.0;
+}
+
+/// One timed comparison of traditional (normal sequence, the open-source SD
+/// decoder's behaviour) against PPM on the same scenario.
+struct ComparisonPoint {
+  double trad_seconds = 0;     ///< median traditional decode wall time
+  double ppm_wall_seconds = 0; ///< median PPM wall time (serial host)
+  double ppm_model_seconds = 0;///< median modeled T-lane PPM time
+  double wall_ratio = 1.0;     ///< median per-rep trad/ppm-wall ratio
+  double model_ratio = 1.0;    ///< median per-rep trad/ppm-model ratio
+  std::size_t p = 0;           ///< independent sub-matrices
+  std::size_t c1 = 0;          ///< traditional mult_XORs
+  std::size_t ppm_ops = 0;     ///< PPM mult_XORs (min(C3, C4))
+  std::size_t redraws = 0;     ///< undecodable scenario redraws
+
+  // Improvements from per-repetition ratios: each repetition measures the
+  // two decoders back to back, so slow drift of the (virtualized) host
+  // cancels instead of landing in the comparison.
+  double measured_improvement() const { return wall_ratio - 1.0; }
+  double modeled_improvement() const { return model_ratio - 1.0; }
+};
+
+/// Run the standard comparison for an SD/PMDS-style code.
+inline ComparisonPoint compare_sd(const ErasureCode& code, std::size_t m,
+                                  std::size_t s, std::size_t z,
+                                  unsigned threads, std::uint64_t seed,
+                                  std::size_t block_bytes) {
+  ScenarioGenerator gen(seed);
+  const auto g = gen.sd_worst_case(code, m, s, z);
+
+  Stripe stripe(code, block_bytes);
+  Rng rng(seed ^ 0xABCD);
+  stripe.fill_data(rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(stripe.block_ptrs(), block_bytes)) {
+    std::fprintf(stderr, "encode failed for %s\n", code.name().c_str());
+    std::exit(1);
+  }
+  const auto snap = stripe.snapshot();
+
+  PpmOptions opts;
+  opts.threads = threads;
+  const PpmDecoder ppm_dec(code, opts);
+
+  // Untimed warm-up: touch every page and ramp the core before measuring.
+  stripe.erase(g.scenario);
+  if (!trad.decode(g.scenario, stripe.block_ptrs(), block_bytes,
+                   SequencePolicy::kNormal)) {
+    std::exit(2);
+  }
+  stripe.erase(g.scenario);
+  if (!ppm_dec.decode(g.scenario, stripe.block_ptrs(), block_bytes)) {
+    std::exit(3);
+  }
+
+  ComparisonPoint point;
+  point.redraws = g.redraws;
+  std::vector<double> t_trad;
+  std::vector<double> t_wall;
+  std::vector<double> t_model;
+  std::vector<double> r_wall;
+  std::vector<double> r_model;
+  for (std::size_t rep = 0; rep < reps(); ++rep) {
+    stripe.erase(g.scenario);
+    const auto tr = trad.decode(g.scenario, stripe.block_ptrs(), block_bytes,
+                                SequencePolicy::kNormal);
+    if (!tr) std::exit(2);
+    t_trad.push_back(tr->seconds);
+    point.c1 = tr->stats.mult_xors;
+
+    stripe.erase(g.scenario);
+    const auto pr = ppm_dec.decode(g.scenario, stripe.block_ptrs(),
+                                   block_bytes);
+    if (!pr) std::exit(3);
+    t_wall.push_back(pr->seconds);
+    // Overhead-aware model: measured task times on T lanes plus the
+    // calibrated ephemeral-thread start cost (the overhead the paper's
+    // Fig. 7/9 discuss).
+    const double model = pr->modeled_seconds_with_overhead(threads);
+    t_model.push_back(model);
+    r_wall.push_back(tr->seconds / pr->seconds);
+    r_model.push_back(tr->seconds / model);
+    point.p = pr->p;
+    point.ppm_ops = pr->stats.mult_xors;
+  }
+  // Correctness guard: the final decode restored the stripe.
+  if (!stripe.equals(snap)) {
+    std::fprintf(stderr, "verification failed for %s\n", code.name().c_str());
+    std::exit(4);
+  }
+  point.trad_seconds = median(std::move(t_trad));
+  point.ppm_wall_seconds = median(std::move(t_wall));
+  point.ppm_model_seconds = median(std::move(t_model));
+  point.wall_ratio = median(std::move(r_wall));
+  point.model_ratio = median(std::move(r_model));
+  return point;
+}
+
+/// Print the standard bench banner.
+inline void banner(const char* fig, const char* what) {
+  std::printf("== %s: %s ==\n", fig, what);
+  std::printf("stripe=%zuMiB reps=%zu isa=%s cores=%u", stripe_mib(), reps(),
+              isa_name(detect_isa()), hardware_threads());
+  std::printf("  (modeled = measured task times on T virtual lanes; see "
+              "EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace ppm::bench

@@ -1,0 +1,73 @@
+// Fig. 4 — computational cost of the four calculation sequences, relative
+// to C1, for SD codes: C2/C1, C3/C1, C4/C1 as n sweeps 6..24, one panel per
+// m in {1,2,3}, curves for s in {1,2,3}. Fixed r = 16, z = 1 (paper
+// setting). Costs are exact mult_XOR counts from the empirical cost model.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  bench::banner("Fig.4", "C2/C1, C3/C1, C4/C1 vs n (r=16, z=1)");
+  const std::size_t r = 16;
+  const std::size_t z = 1;
+
+  for (const std::size_t m : {1u, 2u, 3u}) {
+    std::printf("--- m = %zu ---\n", m);
+    std::printf("%4s", "n");
+    for (const std::size_t s : {1u, 2u, 3u}) {
+      std::printf("  C2/C1,s=%zu C3/C1,s=%zu C4/C1,s=%zu", s, s, s);
+    }
+    std::printf("\n");
+    for (std::size_t n = 6; n <= 24; ++n) {
+      if (n <= m) continue;
+      std::printf("%4zu", n);
+      for (const std::size_t s : {1u, 2u, 3u}) {
+        const unsigned w = SDCode::recommended_width(n, r);
+        const SDCode code(n, r, m, s, w);
+        ScenarioGenerator gen(0xF160400 + n * 100 + m * 10 + s);
+        const auto g = gen.sd_worst_case(code, m, s, z);
+        const auto costs = analyze_costs(code, g.scenario);
+        if (!costs) {
+          std::printf("  %9s %9s %9s", "-", "-", "-");
+          continue;
+        }
+        const double c1 = static_cast<double>(costs->c1);
+        std::printf("  %9.4f %9.4f %9.4f", costs->c2 / c1, costs->c3 / c1,
+                    costs->c4 / c1);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Paper's summary statistics for this figure: average C4/C1 = 85.78%,
+  // range [47.97%, 98.06%].
+  double sum = 0;
+  double lo = 1e9;
+  double hi = -1e9;
+  std::size_t count = 0;
+  for (const std::size_t m : {1u, 2u, 3u}) {
+    for (const std::size_t s : {1u, 2u, 3u}) {
+      for (std::size_t n = 6; n <= 24; ++n) {
+        const unsigned w = SDCode::recommended_width(n, r);
+        const SDCode code(n, r, m, s, w);
+        ScenarioGenerator gen(0xF160401 + n * 100 + m * 10 + s);
+        const auto g = gen.sd_worst_case(code, m, s, z);
+        const auto costs = analyze_costs(code, g.scenario);
+        if (!costs) continue;
+        const double ratio =
+            static_cast<double>(costs->c4) / static_cast<double>(costs->c1);
+        sum += ratio;
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+        ++count;
+      }
+    }
+  }
+  std::printf("C4/C1 summary over the sweep: avg=%.2f%% range=[%.2f%%, %.2f%%]\n",
+              100 * sum / count, 100 * lo, 100 * hi);
+  std::printf("(paper: avg=85.78%%, range=[47.97%%, 98.06%%])\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 6 — C4/C1 for different stripe depths r (z = 1): the ratio falls as
+// r grows because the partition peels off more independent per-row systems.
+// Curves for r in {4, 8, 12, 16, 20, 24}, panels per (m, s) corner cases.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ppm;
+
+int main() {
+  bench::banner("Fig.6", "C4/C1 vs n for r in {4..24} (z=1)");
+  const std::size_t z = 1;
+  const std::size_t rs[] = {4, 8, 12, 16, 20, 24};
+
+  constexpr std::pair<std::size_t, std::size_t> kPanels[] = {
+      {1, 1}, {1, 3}, {2, 2}, {3, 1}, {3, 3}};
+  for (const auto& [m, s] : kPanels) {
+    std::printf("--- m = %zu, s = %zu ---\n", m, s);
+    std::printf("%4s", "n");
+    for (const std::size_t r : rs) std::printf("  %8s%-2zu", "C4/C1,r=", r);
+    std::printf("\n");
+    for (std::size_t n = 6; n <= 24; n += 2) {
+      std::printf("%4zu", n);
+      for (const std::size_t r : rs) {
+        if (s > z * (n - m) || s > (n - m) * r - 1) {
+          std::printf("  %10s", "-");
+          continue;
+        }
+        const unsigned w = SDCode::recommended_width(n, r);
+        const SDCode code(n, r, m, s, w);
+        ScenarioGenerator gen(0xF166000 + n * 100 + m * 10 + s + r * 1000);
+        const auto g = gen.sd_worst_case(code, m, s, z);
+        const auto costs = analyze_costs(code, g.scenario);
+        if (!costs) {
+          std::printf("  %10s", "-");
+          continue;
+        }
+        std::printf("  %10.4f", static_cast<double>(costs->c4) /
+                                    static_cast<double>(costs->c1));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper trend: C4/C1 decreases as r increases)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7 — measured PPM improvement for different thread counts T. Paper
+// setting: stripe = 32 MB, r = 16, z = 1, panels over (m, s), n in
+// {6, 11, 16, 21}, T = 1..4 on a 4-core CPU.
+//
+// Single-core substitution: the "modeled" column schedules the measured
+// per-task times on T virtual lanes (the multi-core machine the paper ran
+// on); the "wall" column is the literal single-core wall-clock improvement,
+// which isolates PPM's cost-reduction benefit (its T=1 row is the paper's
+// "PPM without parallelism" observation from §III-B).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ppm;
+using bench::compare_sd;
+
+int main() {
+  bench::banner("Fig.7", "PPM improvement vs thread count T (r=16, z=1)");
+  const std::size_t r = 16;
+  const std::size_t z = 1;
+  const std::size_t ns[] = {6, 11, 16, 21};
+
+  double two_thread_sum = 0;
+  double two_thread_lo = 1e9;
+  double two_thread_hi = -1e9;
+  std::size_t two_thread_count = 0;
+
+  for (const std::size_t m : {1u, 2u, 3u}) {
+    for (const std::size_t s : {1u, 2u, 3u}) {
+      std::printf("--- m = %zu, s = %zu ---\n", m, s);
+      std::printf("%4s %3s  %12s %12s  %6s\n", "n", "T", "modeled-impr",
+                  "wall-impr", "p");
+      for (const std::size_t n : ns) {
+        if (n <= m || s > z * (n - m)) continue;
+        const unsigned w = SDCode::recommended_width(n, r);
+        const SDCode code(n, r, m, s, w);
+        const std::size_t block =
+            bench::block_bytes_for(n * r, code.field().symbol_bytes());
+        for (unsigned t = 1; t <= 4; ++t) {
+          const auto pt = compare_sd(code, m, s, z, t,
+                                     0xF167000 + n * 100 + m * 10 + s, block);
+          std::printf("%4zu %3u  %11.2f%% %11.2f%%  %6zu\n", n, t,
+                      100 * pt.modeled_improvement(),
+                      100 * pt.measured_improvement(), pt.p);
+          if (t == 2) {
+            const double impr = pt.modeled_improvement();
+            two_thread_sum += impr;
+            two_thread_lo = std::min(two_thread_lo, impr);
+            two_thread_hi = std::max(two_thread_hi, impr);
+            ++two_thread_count;
+          }
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("T=2 modeled improvement: avg=%.2f%% range=[%.2f%%, %.2f%%]\n",
+              100 * two_thread_sum / two_thread_count, 100 * two_thread_lo,
+              100 * two_thread_hi);
+  std::printf("(paper, two threads: avg=46.29%%, range=[8.45%%, 178.38%%])\n");
+  return 0;
+}

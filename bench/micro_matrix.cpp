@@ -1,0 +1,72 @@
+// Micro-benchmark: the matrix algebra of the decode planner (inversion,
+// products, rank) — the work the paper argues is negligible against the
+// region operations it steers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "matrix/matrix.h"
+#include "matrix/solve.h"
+
+namespace {
+
+using namespace ppm;
+
+Matrix random_invertible(const gf::Field& f, std::size_t n, Rng& rng) {
+  for (;;) {
+    Matrix m(f, n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m(r, c) = static_cast<gf::Element>(rng.next()) & f.max_element();
+      }
+    }
+    if (m.rank() == n) return m;
+  }
+}
+
+void bm_matrix_inverse(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(4);
+  const Matrix m = random_invertible(gf::field(w), n, rng);
+  for (auto _ : state) {
+    auto inv = m.inverse();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+
+void bm_matrix_product(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const gf::Field& f = gf::field(8);
+  const Matrix a = random_invertible(f, n, rng);
+  const Matrix b = random_invertible(f, n, rng);
+  for (auto _ : state) {
+    Matrix p = a * b;
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void bm_independent_rows(benchmark::State& state) {
+  const std::size_t cols = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = cols + 8;
+  Rng rng(6);
+  const gf::Field& f = gf::field(8);
+  Matrix m(f, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<gf::Element>(rng.next()) & f.max_element();
+    }
+  }
+  for (auto _ : state) {
+    auto sel = independent_rows(m);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bm_matrix_inverse)
+    ->ArgsProduct({{8, 16, 32}, {5, 18, 51}})
+    ->ArgNames({"w", "n"});
+BENCHMARK(bm_matrix_product)->Arg(5)->Arg(18)->Arg(51)->ArgName("n");
+BENCHMARK(bm_independent_rows)->Arg(5)->Arg(18)->Arg(51)->ArgName("cols");

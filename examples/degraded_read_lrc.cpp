@@ -1,0 +1,71 @@
+// Degraded reads under LRC — the cloud scenario that motivates local
+// parities (paper §I): transient unavailability makes reads hit repair.
+// With one unavailable strip per local group, PPM recovers every affected
+// group concurrently from local parities only, while the traditional
+// decoder drags all survivors through one big matrix solve.
+//
+//   ./degraded_read_lrc [k l g strip_kib]     (defaults: 12 3 2 1024)
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppm.h"
+
+using namespace ppm;
+
+int main(int argc, char** argv) {
+  const std::size_t k = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12;
+  const std::size_t l = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  const std::size_t g = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+  const std::size_t kib =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1024;
+
+  const LRCCode code(k, l, g, 8);
+  const std::size_t block = kib * 1024;
+  std::printf("%s — storage cost %.2fx, strip = %zu KiB\n",
+              code.name().c_str(), code.storage_cost(), kib);
+
+  Stripe stripe(code, block);
+  Rng rng(11);
+  stripe.fill_data(rng);
+  const TraditionalDecoder traditional(code);
+  if (!traditional.encode(stripe.block_ptrs(), block)) return 1;
+  const auto golden = stripe.snapshot();
+
+  // One transiently-unavailable strip in every local group.
+  ScenarioGenerator gen(13);
+  const auto scenario = gen.lrc_failures(code, l, 0).scenario;
+  std::printf("degraded read: strips {");
+  for (std::size_t i = 0; i < scenario.count(); ++i) {
+    std::printf("%s%zu", i ? "," : "", scenario.faulty()[i]);
+  }
+  std::printf("} unavailable (one per local group)\n\n");
+
+  // Warm-up (untimed) so both timed decodes run on hot pages.
+  stripe.erase(scenario);
+  if (!traditional.decode(scenario, stripe.block_ptrs(), block)) return 1;
+
+  stripe.erase(scenario);
+  const auto trad = traditional.decode(scenario, stripe.block_ptrs(), block,
+                                       SequencePolicy::kNormal);
+  if (!trad || !stripe.equals(golden)) return 1;
+  std::printf("traditional: %7.3f ms, %zu region ops, reads %zu survivor "
+              "strips\n",
+              trad->seconds * 1e3, trad->stats.mult_xors,
+              code.total_blocks() - scenario.count());
+
+  stripe.erase(scenario);
+  const PpmDecoder ppm_decoder(code);
+  const auto res = ppm_decoder.decode(scenario, stripe.block_ptrs(), block);
+  if (!res || !stripe.equals(golden)) return 1;
+  std::printf("PPM:         %7.3f ms, %zu region ops, p=%zu local repairs "
+              "in parallel, H_rest empty: %s\n",
+              res->seconds * 1e3, res->stats.mult_xors, res->p,
+              res->rest_empty() ? "yes" : "no");
+
+  std::printf("\neach repair reads only its local group (%zu strips), and "
+              "the %zu repairs run concurrently —\nI/O per repair drops from "
+              "%zu to %zu strips, computation from %zu to %zu region ops.\n",
+              (k + l - 1) / l, res->p, code.total_blocks() - scenario.count(),
+              (k + l - 1) / l, trad->stats.mult_xors, res->stats.mult_xors);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scrub and repair: the silent-corruption workflow (paper §I cites data
+// corruption among the failure classes SD-style codes must face).
+//
+//   1. scrub the stripe with the parity-check syndromes;
+//   2. localize which block a single corruption can live in;
+//   3. repair it with the cheapest degraded-read equation;
+//   4. verify the stripe is consistent again.
+//
+//   ./scrub_and_repair [n r m s block_kib]     (defaults: 8 8 2 2 64)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ppm.h"
+
+using namespace ppm;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  const std::size_t r = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  const std::size_t m = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+  const std::size_t s = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2;
+  const std::size_t kib = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 64;
+
+  const unsigned w = SDCode::recommended_width(n, r);
+  const SDCode code(n, r, m, s, w);
+  const std::size_t block = kib * 1024;
+  Stripe stripe(code, block);
+  Rng rng(2026);
+  stripe.fill_data(rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(stripe.block_ptrs(), block)) return 1;
+  const auto golden = stripe.snapshot();
+  std::printf("array %zux%zu (%s), %zu KiB blocks — encoded and clean: %s\n",
+              n, r, code.name().c_str(), kib,
+              stripe_consistent(code, stripe.block_ptrs(), block) ? "yes"
+                                                                  : "no");
+
+  // A cosmic ray flips some bits in one block.
+  const std::size_t victim = code.block_id(3, 2);
+  stripe.block(victim)[17] ^= 0x80;
+  stripe.block(victim)[4096 % block] ^= 0x01;
+  std::printf("\n[corruption injected into block %zu]\n", victim);
+
+  // 1-2: scrub + localize.
+  const auto violated = violated_checks(code, stripe.block_ptrs(), block);
+  std::printf("scrub: %zu parity checks violated ->", violated.size());
+  const auto candidates =
+      locate_single_corruption(code, stripe.block_ptrs(), block);
+  std::printf(" %zu candidate blocks:", candidates.size());
+  for (const std::size_t c : candidates) std::printf(" %zu", c);
+  std::printf("\n");
+  if (std::find(candidates.begin(), candidates.end(), victim) ==
+      candidates.end()) {
+    std::fprintf(stderr, "localization missed the victim!\n");
+    return 1;
+  }
+
+  // 3: narrow down by repairing each candidate into scratch and checking
+  // the syndrome; repair the one that fixes the stripe. (With SD codes the
+  // whole stripe row shares a signature, so recompute is the tie-breaker.)
+  const DegradedReader reader(code);
+  for (const std::size_t cand : candidates) {
+    std::vector<std::uint8_t> backup(stripe.block(cand),
+                                     stripe.block(cand) + block);
+    const FailureScenario sc({cand});
+    if (!reader.read(cand, sc, stripe.block_ptrs(), block)) continue;
+    if (stripe_consistent(code, stripe.block_ptrs(), block)) {
+      std::printf("repaired block %zu via its cheapest equation "
+                  "(degraded read)\n",
+                  cand);
+      break;
+    }
+    std::memcpy(stripe.block(cand), backup.data(), block);  // not it
+  }
+
+  // 4: verify.
+  const bool ok = stripe.equals(golden);
+  std::printf("stripe restored byte-for-byte: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

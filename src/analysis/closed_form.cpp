@@ -1,0 +1,21 @@
+#include "analysis/closed_form.h"
+
+namespace ppm {
+
+ClosedFormCosts sd_closed_form(std::size_t n_, std::size_t r_, std::size_t m_,
+                               std::size_t s_, std::size_t z_) {
+  const auto n = static_cast<long long>(n_);
+  const auto r = static_cast<long long>(r_);
+  const auto m = static_cast<long long>(m_);
+  const auto s = static_cast<long long>(s_);
+  const auto z = static_cast<long long>(z_);
+
+  ClosedFormCosts c;
+  c.c1 = n * r * (m + s) + m * (m * r + s) * (z - 1) + m * m * (r - z);
+  c.c2 = (n * r - (m * r + s)) * (m * z + s) + m * (n - m) * (r - z);
+  c.c3 = (n * r - (m + s)) * (m * z + s) + m * (n - m) * (r - z);
+  c.c4 = n * r * (m + s) + m * (m * z + s) * (z - 1) - m * m * (r - z);
+  return c;
+}
+
+}  // namespace ppm

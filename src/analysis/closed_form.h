@@ -1,0 +1,35 @@
+// Closed-form SD cost formulas from the paper (§III-B), derived there from
+// simulation of the matrix nonzero counts:
+//
+//   C1 = n·r·(m+s) + m·(m·r+s)·(z−1) + m²·(r−z)
+//   C2 = (n·r − (m·r+s))·(m·z+s) + m·(n−m)·(r−z)
+//   C3 = (n·r − (m+s))·(m·z+s) + m·(n−m)·(r−z)
+//   C4 = n·r·(m+s) + m·(m·z+s)·(z−1) − m²·(r−z)
+//
+// and the identities the paper states:
+//   C1 − C4 = m²·(z+1)·(r−z)         (the (r−1) form in §III-B is a typo —
+//                                     expanding the four equations gives
+//                                     (r−z); both agree at z = 1)
+//   C3 − C2 = m·(r−1)·(m·z+s)
+//
+// These are the reference curves for Figs. 4–6; tests cross-check them
+// against the empirical cost model on the paper's own example.
+#pragma once
+
+#include <cstddef>
+
+namespace ppm {
+
+struct ClosedFormCosts {
+  long long c1 = 0;
+  long long c2 = 0;
+  long long c3 = 0;
+  long long c4 = 0;
+};
+
+/// Evaluate the §III-B formulas for SD^{m,s}_{n,r} with the s faulty
+/// sectors concentrated in z rows.
+ClosedFormCosts sd_closed_form(std::size_t n, std::size_t r, std::size_t m,
+                               std::size_t s, std::size_t z);
+
+}  // namespace ppm

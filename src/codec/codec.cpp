@@ -1,0 +1,149 @@
+#include "codec/codec.h"
+
+#include <algorithm>
+
+#include "common/cpu.h"
+#include "common/timer.h"
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "parallel/task_group.h"
+
+namespace ppm {
+
+std::size_t CachedPlan::cost() const {
+  std::size_t c = 0;
+  for (const SubPlan& p : group_plans_) c += p.cost();
+  if (rest_plan_.has_value()) c += rest_plan_->cost();
+  return c;
+}
+
+void CachedPlan::execute(std::uint8_t* const* blocks, std::size_t block_bytes,
+                         DecodeStats* stats) const {
+  for (const SubPlan& p : group_plans_) p.execute(blocks, block_bytes, stats);
+  if (rest_plan_.has_value()) rest_plan_->execute(blocks, block_bytes, stats);
+}
+
+Codec::Codec(const ErasureCode& code, Options options)
+    : code_(&code), options_(options) {
+  if (options_.threads == 0) options_.threads = hardware_threads();
+  if (options_.cache_capacity == 0) options_.cache_capacity = 1;
+}
+
+std::shared_ptr<const CachedPlan> Codec::build_plan(
+    const FailureScenario& scenario) const {
+  const Matrix& h = code_->parity_check();
+  const LogTable table = LogTable::build(h, scenario.faulty());
+  const Partition part = make_partition(h, table);
+
+  auto plan = std::make_shared<CachedPlan>();
+  plan->group_plans_.reserve(part.p());
+  for (const IndependentGroup& g : part.groups) {
+    auto sub = SubPlan::make(h, g.rows, g.faulty_cols, scenario.faulty(),
+                             Sequence::kMatrixFirst);
+    if (!sub.has_value()) return nullptr;
+    plan->group_plans_.push_back(std::move(*sub));
+  }
+  if (!part.rest_empty()) {
+    // Auto sequence: the cheaper of C3/C4 tails.
+    const auto costs = SubPlan::sequence_costs(h, part.rest_rows,
+                                               part.rest_faulty,
+                                               part.rest_faulty);
+    if (!costs.has_value()) return nullptr;
+    const Sequence seq = costs->second < costs->first
+                             ? Sequence::kMatrixFirst
+                             : Sequence::kNormal;
+    auto rest = SubPlan::make(h, part.rest_rows, part.rest_faulty,
+                              part.rest_faulty, seq);
+    if (!rest.has_value()) return nullptr;
+    plan->rest_plan_ = std::move(*rest);
+  }
+  return plan;
+}
+
+std::shared_ptr<const CachedPlan> Codec::plan_for(
+    const FailureScenario& scenario) {
+  const std::vector<std::size_t> key(scenario.faulty().begin(),
+                                     scenario.faulty().end());
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto plan = build_plan(scenario);
+  if (plan == nullptr) return nullptr;
+  const std::scoped_lock lock(mutex_);
+  if (cache_.size() >= options_.cache_capacity && !eviction_order_.empty()) {
+    cache_.erase(eviction_order_.front());
+    eviction_order_.erase(eviction_order_.begin());
+  }
+  cache_.emplace(key, plan);
+  eviction_order_.push_back(key);
+  return plan;
+}
+
+bool Codec::decode(const FailureScenario& scenario,
+                   std::uint8_t* const* blocks, std::size_t block_bytes,
+                   DecodeStats* stats) {
+  if (scenario.empty()) return true;
+  const auto plan = plan_for(scenario);
+  if (plan == nullptr) return false;
+  plan->execute(blocks, block_bytes, stats);
+  return true;
+}
+
+bool Codec::encode(std::uint8_t* const* blocks, std::size_t block_bytes,
+                   DecodeStats* stats) {
+  return decode(FailureScenario::encoding_of(*code_), blocks, block_bytes,
+                stats);
+}
+
+std::optional<BatchResult> Codec::decode_batch(
+    const FailureScenario& scenario,
+    const std::vector<std::uint8_t* const*>& stripes,
+    std::size_t block_bytes) {
+  BatchResult result;
+  result.stripes = stripes.size();
+  const Timer total;
+  const auto plan = plan_for(scenario);
+  if (plan == nullptr) return std::nullopt;
+  result.plan_seconds = total.seconds();
+
+  if (stripes.empty()) {
+    result.seconds = total.seconds();
+    return result;
+  }
+
+  std::vector<DecodeStats> per_stripe(stripes.size());
+  if (options_.threads <= 1 || stripes.size() == 1) {
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      plan->execute(stripes[i], block_bytes, &per_stripe[i]);
+    }
+  } else {
+    ThreadPool pool(std::min<unsigned>(
+        options_.threads, static_cast<unsigned>(stripes.size())));
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      group.add([&, i] { plan->execute(stripes[i], block_bytes,
+                                       &per_stripe[i]); });
+    }
+    group.wait();
+  }
+  for (const DecodeStats& st : per_stripe) {
+    result.stats.mult_xors += st.mult_xors;
+    result.stats.bytes_touched += st.bytes_touched;
+    result.stats.blocks_read += st.blocks_read;
+  }
+  result.seconds = total.seconds();
+  return result;
+}
+
+std::size_t Codec::cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace ppm

@@ -1,0 +1,145 @@
+#include "codes/coeff_search.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "codes/sd_code.h"
+#include "common/rng.h"
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+namespace {
+
+using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                       unsigned>;
+
+std::mutex g_cache_mutex;
+std::map<Key, std::vector<gf::Element>>& cache() {
+  static std::map<Key, std::vector<gf::Element>> c;
+  return c;
+}
+
+// One worst-case scenario: m random whole disks plus s sectors confined to
+// z rows on the surviving disks.
+std::vector<std::size_t> sample_scenario(std::size_t n, std::size_t r,
+                                         std::size_t m, std::size_t s,
+                                         std::size_t z, Rng& rng) {
+  std::vector<std::size_t> disks;
+  while (disks.size() < m) {
+    const std::size_t d = rng.bounded(n);
+    bool dup = false;
+    for (const std::size_t e : disks) dup |= (e == d);
+    if (!dup) disks.push_back(d);
+  }
+  std::vector<std::size_t> rows;
+  while (rows.size() < z) {
+    const std::size_t row = rng.bounded(r);
+    bool dup = false;
+    for (const std::size_t e : rows) dup |= (e == row);
+    if (!dup) rows.push_back(row);
+  }
+  std::vector<std::size_t> blocks;
+  for (const std::size_t d : disks) {
+    for (std::size_t i = 0; i < r; ++i) blocks.push_back(i * n + d);
+  }
+  // One sector per chosen row first, the remainder anywhere in those rows.
+  auto in_failed_disk = [&](std::size_t d) {
+    for (const std::size_t e : disks) {
+      if (e == d) return true;
+    }
+    return false;
+  };
+  std::size_t placed = 0;
+  auto try_place = [&](std::size_t row) {
+    const std::size_t d = rng.bounded(n);
+    if (in_failed_disk(d)) return false;
+    const std::size_t b = row * n + d;
+    for (const std::size_t e : blocks) {
+      if (e == b) return false;
+    }
+    blocks.push_back(b);
+    ++placed;
+    return true;
+  };
+  for (const std::size_t row : rows) {
+    while (!try_place(row)) {
+    }
+  }
+  while (placed < s) {
+    try_place(rows[rng.bounded(z)]);
+  }
+  return blocks;
+}
+
+bool scenario_decodable(const Matrix& h, std::span<const std::size_t> faulty) {
+  const Matrix f = h.select_columns(faulty);
+  return f.rank() == f.cols();
+}
+
+}  // namespace
+
+bool validate_sd_coefficients(std::size_t n, std::size_t r, std::size_t m,
+                              std::size_t s, unsigned w,
+                              std::span<const gf::Element> coeffs,
+                              unsigned samples) {
+  const gf::Field& f = gf::field(w);
+  const Matrix h = SDCode::build_parity_check(f, n, r, m, s, coeffs);
+
+  // The encoding scenario (all parity blocks unknown) must be solvable.
+  const auto parity = SDCode::parity_block_ids(n, r, m, s);
+  if (!scenario_decodable(h, parity)) return false;
+
+  // Sampled worst-case decodes for every sector-row concentration z.
+  Rng rng(0x5D00D5 + n * 1315423911u + r * 2654435761u + m * 97 + s * 31 + w);
+  const std::size_t z_max = std::min(s, r);
+  for (std::size_t z = 1; z <= z_max; ++z) {
+    if (s > z * (n - m)) continue;  // s sectors cannot fit in z rows
+    for (unsigned i = 0; i < samples; ++i) {
+      const auto faulty = sample_scenario(n, r, m, s, z, rng);
+      if (!scenario_decodable(h, faulty)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<gf::Element> sd_coefficients(std::size_t n, std::size_t r,
+                                         std::size_t m, std::size_t s,
+                                         unsigned w) {
+  const Key key{n, r, m, s, w};
+  {
+    const std::scoped_lock lock(g_cache_mutex);
+    auto it = cache().find(key);
+    if (it != cache().end()) return it->second;
+  }
+
+  const gf::Field& f = gf::field(w);
+  const std::size_t count = m + s;
+
+  // Candidate 0: consecutive powers of alpha — a = (1, 2, 4, 8, ...), the
+  // natural generalization of the paper's SD^{1,1}(8|1,2) example. Further
+  // candidates draw random exponents, mirroring the published search.
+  Rng rng(0xC0EF5EED ^ (n << 16) ^ (r << 8) ^ (m << 4) ^ s ^ w);
+  constexpr unsigned kBudget = 400;
+  for (unsigned attempt = 0; attempt < kBudget; ++attempt) {
+    std::vector<gf::Element> coeffs(count);
+    coeffs[0] = 1;
+    if (attempt == 0) {
+      for (std::size_t q = 1; q < count; ++q) coeffs[q] = f.exp2(q);
+    } else {
+      for (std::size_t q = 1; q < count; ++q) {
+        coeffs[q] = f.exp2(1 + rng.bounded(f.max_element() - 1));
+      }
+    }
+    if (validate_sd_coefficients(n, r, m, s, w, coeffs)) {
+      const std::scoped_lock lock(g_cache_mutex);
+      cache().emplace(key, coeffs);
+      return coeffs;
+    }
+  }
+  throw std::runtime_error("sd_coefficients: search budget exhausted");
+}
+
+}  // namespace ppm

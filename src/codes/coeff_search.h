@@ -1,0 +1,37 @@
+// Coefficient search and validation for SD-family codes.
+//
+// The published SD codes use coding coefficients found by computer search
+// (the paper's example: SD^{2,2}_{6,4}(8|1, 42, 26, 61)). We reproduce that
+// search: candidate coefficient tuples (a_0 = 1 always) are validated
+// against the encoding scenario and a deterministic sample of worst-case
+// failure scenarios (m whole disks + s sectors); the first tuple whose
+// decoding matrices are all invertible wins. Results are cached per
+// (n, r, m, s, w) for the duration of the process so parameter sweeps pay
+// the search once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/galois_field.h"
+
+namespace ppm {
+
+/// Searched (and cached) coefficients for SD^{m,s}_{n,r} over GF(2^w).
+/// Throws std::runtime_error if no valid tuple is found within the
+/// candidate budget (does not happen for the parameter ranges of the paper,
+/// n,r <= 24, m,s <= 3).
+std::vector<gf::Element> sd_coefficients(std::size_t n, std::size_t r,
+                                         std::size_t m, std::size_t s,
+                                         unsigned w);
+
+/// Validate a coefficient tuple: true iff the encoding scenario and
+/// `samples` sampled worst-case decoding scenarios (per z in [1, min(s,r)])
+/// all yield full-rank decoding systems.
+bool validate_sd_coefficients(std::size_t n, std::size_t r, std::size_t m,
+                              std::size_t s, unsigned w,
+                              std::span<const gf::Element> coeffs,
+                              unsigned samples = 12);
+
+}  // namespace ppm

@@ -1,0 +1,73 @@
+#include "codes/crs_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppm {
+
+Matrix CRSCode::bit_matrix(gf::Element c, unsigned sub_w) {
+  const gf::Field& f = gf::field(sub_w);
+  Matrix m(gf::field(8), sub_w, sub_w);  // binary entries in any field
+  for (unsigned j = 0; j < sub_w; ++j) {
+    const gf::Element col = f.mul(c, gf::Element{1} << j);
+    for (unsigned i = 0; i < sub_w; ++i) {
+      m(i, j) = (col >> i) & 1u;
+    }
+  }
+  return m;
+}
+
+std::vector<std::size_t> CRSCode::strip_blocks(std::size_t strip) const {
+  std::vector<std::size_t> out;
+  out.reserve(rows());
+  for (std::size_t i = 0; i < rows(); ++i) out.push_back(block_id(i, strip));
+  return out;
+}
+
+CRSCode::CRSCode(std::size_t k, std::size_t m, unsigned sub_w)
+    : ErasureCode(gf::field(8), k + m, sub_w, m * sub_w,
+                  "CRS(" + std::to_string(k) + "," + std::to_string(m) +
+                      ")(bitmatrix w=" + std::to_string(sub_w) + ")"),
+      k_(k),
+      m_(m),
+      sub_w_(sub_w) {
+  if (k == 0 || m == 0) {
+    throw std::invalid_argument("CRS requires k > 0 and m > 0");
+  }
+  const gf::Field& sub = gf::field(sub_w);  // validates sub_w too
+  if (k + m > static_cast<std::uint64_t>(sub.max_element()) + 1) {
+    throw std::invalid_argument("CRS: k + m exceeds 2^sub_w");
+  }
+
+  // Cauchy coefficients C[q][d] = 1 / (x_q + y_d), x_q = q, y_d = m + d —
+  // the same MDS-by-construction choice as RSCode, expanded bitwise.
+  for (std::size_t q = 0; q < m_; ++q) {
+    for (std::size_t d = 0; d < k_; ++d) {
+      const gf::Element c =
+          sub.inv(static_cast<gf::Element>(q) ^
+                  static_cast<gf::Element>(m_ + d));
+      const Matrix bits = bit_matrix(c, sub_w_);
+      for (unsigned i = 0; i < sub_w_; ++i) {
+        for (unsigned j = 0; j < sub_w_; ++j) {
+          if (bits(i, j) != 0) {
+            h_(q * sub_w_ + i, packet_block(j, d)) = 1;
+          }
+        }
+      }
+    }
+    // Identity for the parity strip's own packets.
+    for (unsigned i = 0; i < sub_w_; ++i) {
+      h_(q * sub_w_ + i, packet_block(i, k_ + q)) = 1;
+    }
+  }
+
+  parity_.reserve(m_ * sub_w_);
+  for (std::size_t q = 0; q < m_; ++q) {
+    for (unsigned i = 0; i < sub_w_; ++i) {
+      parity_.push_back(packet_block(i, k_ + q));
+    }
+  }
+  std::sort(parity_.begin(), parity_.end());
+}
+
+}  // namespace ppm

@@ -1,0 +1,52 @@
+// Cauchy Reed–Solomon with bit-matrix coding (Blaum et al., ICSI TR-95-048
+// — the paper's citation [8]).
+//
+// CRS converts GF(2^w) arithmetic into pure XOR: every strip splits into w
+// *packets*, every Cauchy coefficient c expands into the w×w binary matrix
+// M(c) whose column j holds the bits of c·x^j, and the parity equations
+// become XOR equations over packets. In this library that is simply
+// another parity-check code: the stripe has r = w rows (one per packet
+// index), n = k+m disks (strips), H is binary (m·w rows × n·w columns) and
+// every region operation hits the c == 1 XOR fast path.
+//
+// This makes CRS the natural substrate for the equation-oriented
+// parallelism the paper contrasts with in related work ([41], Sobe 2010):
+// PPM's log table and partition operate on the packet-granular binary H
+// without modification.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class CRSCode : public ErasureCode {
+ public:
+  /// CRS(k, m) over GF(2^sub_w) bit matrices; requires k + m <= 2^sub_w.
+  /// Block (i, j) of the stripe is packet i of strip j; strips k..k+m-1
+  /// are parity. The element field of the code itself is GF(2^8) but
+  /// every coefficient is 0 or 1.
+  CRSCode(std::size_t k, std::size_t m, unsigned sub_w = 8);
+
+  std::size_t k() const { return k_; }
+  std::size_t m() const { return m_; }
+  unsigned sub_w() const { return sub_w_; }
+
+  /// Packet block id of packet `packet` of strip `strip`.
+  std::size_t packet_block(std::size_t packet, std::size_t strip) const {
+    return block_id(packet, strip);
+  }
+
+  /// All packet block ids of one strip (a whole-strip failure unit).
+  std::vector<std::size_t> strip_blocks(std::size_t strip) const;
+
+  /// The w×w bit matrix of multiplication by `c` over GF(2^sub_w):
+  /// bit (i, j) is set iff bit i of c·x^j is set. Exposed for tests.
+  static Matrix bit_matrix(gf::Element c, unsigned sub_w);
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  unsigned sub_w_;
+};
+
+}  // namespace ppm

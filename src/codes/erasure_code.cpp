@@ -1,0 +1,30 @@
+#include "codes/erasure_code.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppm {
+
+ErasureCode::ErasureCode(const gf::Field& f, std::size_t disks,
+                         std::size_t rows, std::size_t check_rows,
+                         std::string name)
+    : h_(f, check_rows, disks * rows),
+      field_(&f),
+      disks_(disks),
+      rows_(rows),
+      name_(std::move(name)) {}
+
+bool ErasureCode::is_parity(std::size_t b) const {
+  return std::binary_search(parity_.begin(), parity_.end(), b);
+}
+
+std::vector<std::size_t> ErasureCode::data_blocks() const {
+  std::vector<std::size_t> out;
+  out.reserve(data_block_count());
+  for (std::size_t b = 0; b < total_blocks(); ++b) {
+    if (!is_parity(b)) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,80 @@
+// Base interface for erasure codes defined by a parity-check matrix.
+//
+// A code instance describes one stripe: `total_blocks()` blocks (columns of
+// H), of which `parity_blocks()` are redundancy. The defining property is
+// H · B = 0 over GF(2^w) for every consistent stripe B; encoding and
+// decoding are both instances of solving that system for a chosen set of
+// unknown blocks (paper §II-B).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf/galois_field.h"
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  ErasureCode(const ErasureCode&) = delete;
+  ErasureCode& operator=(const ErasureCode&) = delete;
+
+  const gf::Field& field() const { return *field_; }
+
+  /// Number of blocks in a stripe (columns of H, the paper's CH).
+  std::size_t total_blocks() const { return h_.cols(); }
+
+  /// Number of parity-check rows (the paper's RH).
+  std::size_t check_rows() const { return h_.rows(); }
+
+  /// The parity-check matrix H (check_rows × total_blocks).
+  const Matrix& parity_check() const { return h_; }
+
+  /// Sorted ids of the redundancy blocks within the stripe.
+  std::span<const std::size_t> parity_blocks() const { return parity_; }
+
+  std::size_t data_block_count() const {
+    return total_blocks() - parity_.size();
+  }
+
+  /// True iff block `b` is a redundancy block.
+  bool is_parity(std::size_t b) const;
+
+  /// Sorted ids of the data blocks.
+  std::vector<std::size_t> data_blocks() const;
+
+  /// Stripe geometry: number of disks/strips (the paper's n) and sectors
+  /// per strip (the paper's r). Codes that operate strip-granular (LRC, RS
+  /// in this library) have rows() == 1.
+  std::size_t disks() const { return disks_; }
+  std::size_t rows() const { return rows_; }
+
+  /// Block id of sector `row` on disk `disk` (row-major stripe layout, as
+  /// in the paper: b_{i*n+j}).
+  std::size_t block_id(std::size_t row, std::size_t disk) const {
+    return row * disks_ + disk;
+  }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  ErasureCode(const gf::Field& f, std::size_t disks, std::size_t rows,
+              std::size_t check_rows, std::string name);
+
+  /// Derived constructors fill these.
+  Matrix h_;
+  std::vector<std::size_t> parity_;
+
+ private:
+  const gf::Field* field_;
+  std::size_t disks_;
+  std::size_t rows_;
+  std::string name_;
+};
+
+}  // namespace ppm

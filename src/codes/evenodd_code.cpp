@@ -1,0 +1,59 @@
+#include "codes/evenodd_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppm {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EvenOddCode::EvenOddCode(std::size_t p, unsigned w)
+    : ErasureCode(gf::field(w), p + 2, p - 1, 2 * (p - 1),
+                  "EVENODD(p=" + std::to_string(p) + ")(w=" +
+                      std::to_string(w) + ")"),
+      p_(p) {
+  if (!is_prime(p) || p < 3) {
+    throw std::invalid_argument("EVENODD requires prime p >= 3");
+  }
+
+  // Row-parity rows.
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    for (std::size_t j = 0; j < p; ++j) h_(i, block_id(i, j)) = 1;
+    h_(i, block_id(i, row_parity_disk())) = 1;
+  }
+  // Diagonal rows with the EVENODD adjuster: the S diagonal (i + j ≡ p-1)
+  // XORs into every diagonal equation. A data cell on both the target and
+  // the S diagonal would cancel, but i+j ≡ l and ≡ p-1 cannot both hold
+  // for l < p-1, so the coefficient is simply 1 for membership in either.
+  for (std::size_t l = 0; l < p - 1; ++l) {
+    const std::size_t row = (p - 1) + l;
+    for (std::size_t i = 0; i < p - 1; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t diag = (i + j) % p;
+        if (diag == l || diag == p - 1) {
+          h_(row, block_id(i, j)) ^= 1;
+        }
+      }
+    }
+    h_(row, block_id(l, diag_parity_disk())) = 1;
+  }
+
+  parity_.reserve(2 * (p - 1));
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    parity_.push_back(block_id(i, row_parity_disk()));
+    parity_.push_back(block_id(i, diag_parity_disk()));
+  }
+  std::sort(parity_.begin(), parity_.end());
+}
+
+}  // namespace ppm

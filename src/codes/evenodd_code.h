@@ -1,0 +1,39 @@
+// EVENODD (Blaum, Brady, Bruck, Menon — IEEE ToC 1995): the classic
+// XOR-only RAID-6 array code, cited by the paper as the archetypal
+// *symmetric* parity erasure code [5]. It serves here as a negative
+// control: every parity-check row of H is binary, the two failed disks of
+// the worst case couple every row and diagonal, and PPM's partition
+// degenerates (p = 0) — exactly the paper's argument for why PPM targets
+// asymmetric codes. Single-disk rebuilds, by contrast, partition into p =
+// p-1 per-row repairs.
+//
+// Construction (prime p): the stripe is (p-1) rows × (p+2) disks — p data
+// disks, the row-parity disk P (column p) and the diagonal-parity disk Q
+// (column p+1); an imaginary all-zero row p-1 completes the diagonals.
+// Check rows over GF(2) coefficients (embedded in GF(2^w)):
+//   * row i (i < p-1):  Σ_j a_{i,j} ⊕ P_i = 0;
+//   * diagonal l (l < p-1):  Σ_{(i,j): i+j ≡ l (mod p)} a_{i,j}
+//       ⊕ Σ_{(i,j): i+j ≡ p-1 (mod p)} a_{i,j}   (the EVENODD adjuster S)
+//       ⊕ Q_l = 0,
+// with data cells only (j < p, i < p-1) inside the sums.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class EvenOddCode : public ErasureCode {
+ public:
+  /// Construct EVENODD over prime p >= 3; symbols live in GF(2^w) but all
+  /// coefficients are 0/1 (XOR arithmetic).
+  explicit EvenOddCode(std::size_t p, unsigned w = 8);
+
+  std::size_t p() const { return p_; }
+  std::size_t row_parity_disk() const { return p_; }
+  std::size_t diag_parity_disk() const { return p_ + 1; }
+
+ private:
+  std::size_t p_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,55 @@
+// Locally Repairable Codes (Azure-style LRC, Huang et al. ATC'12).
+//
+// An LRC(k, l, g) stripe has k data strips, l local parities over disjoint
+// groups of ~k/l data strips, and g global parities over all data strips.
+// The local parities serve degraded reads cheaply; the globals provide the
+// stripe-wide fault tolerance. Parity arity is asymmetric (k/l vs k), which
+// is exactly what PPM exploits: strips failing in distinct local groups are
+// independent faulty blocks recoverable in parallel from their local
+// equations alone.
+//
+// Coding here is strip-granular (rows() == 1, one block per strip), matching
+// the paper's fixed-strip-size LRC experiments (Fig. 11). Storage cost is
+// (k + l + g) / k.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class LRCCode : public ErasureCode {
+ public:
+  /// Construct LRC(k, l, g) over GF(2^w). Block layout: data strips
+  /// [0, k), local parities [k, k+l), global parities [k+l, k+l+g).
+  LRCCode(std::size_t k, std::size_t l, std::size_t g, unsigned w);
+
+  std::size_t k() const { return k_; }
+  std::size_t l() const { return l_; }
+  std::size_t g() const { return g_; }
+
+  /// Storage overhead factor (k+l+g)/k, the x-axis of the paper's Fig. 11.
+  double storage_cost() const {
+    return static_cast<double>(total_blocks()) / static_cast<double>(k_);
+  }
+
+  /// Local group index of data strip d (groups are contiguous runs of
+  /// ceil(k/l) strips).
+  std::size_t group_of(std::size_t d) const { return d / group_size_; }
+
+  /// Data strips belonging to local group `grp`.
+  std::vector<std::size_t> group_members(std::size_t grp) const;
+
+  /// Block id of the local parity of group `grp`.
+  std::size_t local_parity_block(std::size_t grp) const { return k_ + grp; }
+
+  /// Block id of global parity j.
+  std::size_t global_parity_block(std::size_t j) const { return k_ + l_ + j; }
+
+ private:
+  std::size_t k_;
+  std::size_t l_;
+  std::size_t g_;
+  std::size_t group_size_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,38 @@
+#include "codes/pmds_code.h"
+
+#include <stdexcept>
+
+#include "codes/coeff_search.h"
+#include "codes/sd_code.h"
+
+namespace ppm {
+
+PMDSCode::PMDSCode(std::size_t n, std::size_t r, std::size_t m, std::size_t s,
+                   unsigned w, std::vector<gf::Element> coeffs)
+    : ErasureCode(gf::field(w), n, r, m * r + s,
+                  "PMDS(" + std::to_string(m) + "," + std::to_string(s) +
+                      ")_{" + std::to_string(n) + "," + std::to_string(r) +
+                      "}(w=" + std::to_string(w) + ")"),
+      m_(m),
+      s_(s),
+      coeffs_(std::move(coeffs)) {
+  if (n < m + 1 || m == 0) {
+    throw std::invalid_argument("PMDS code requires 0 < m < n");
+  }
+  if (s > (n - m) * r - 1) {
+    throw std::invalid_argument("PMDS code: too many coding sectors");
+  }
+  if (n * r > field().max_element()) {
+    throw std::invalid_argument("PMDS code: field too small for n*r blocks");
+  }
+  if (coeffs_.empty()) {
+    coeffs_ = sd_coefficients(n, r, m, s, w);
+  }
+  if (coeffs_.size() != m + s) {
+    throw std::invalid_argument("PMDS code: expected m+s coefficients");
+  }
+  h_ = SDCode::build_parity_check(field(), n, r, m, s, coeffs_);
+  parity_ = SDCode::parity_block_ids(n, r, m, s);
+}
+
+}  // namespace ppm

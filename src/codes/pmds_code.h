@@ -1,0 +1,32 @@
+// PMDS codes (Blaum, Hafner, Hetzler — IBM RJ10498).
+//
+// A PMDS(m, s) code protects an n × r stripe against m erasures per row
+// plus s additional erasures anywhere. The paper treats PMDS as a subset of
+// the SD family ("Since PMDS code is a subset of SD code, the experimental
+// results of SD code also reflect that of PMDS code", §IV); accordingly
+// this class instantiates the same parity-check structure — m per-row
+// equations plus s stripe-global equations — with an independently searched
+// coefficient tuple, so PMDS exercises exactly the code path the paper's
+// statement relies on while remaining a distinct, testable type.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class PMDSCode : public ErasureCode {
+ public:
+  PMDSCode(std::size_t n, std::size_t r, std::size_t m, std::size_t s,
+           unsigned w, std::vector<gf::Element> coeffs = {});
+
+  std::size_t m() const { return m_; }
+  std::size_t s() const { return s_; }
+  const std::vector<gf::Element>& coefficients() const { return coeffs_; }
+
+ private:
+  std::size_t m_;
+  std::size_t s_;
+  std::vector<gf::Element> coeffs_;
+};
+
+}  // namespace ppm

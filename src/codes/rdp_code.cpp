@@ -1,0 +1,53 @@
+#include "codes/rdp_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppm {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RDPCode::RDPCode(std::size_t p, unsigned w)
+    : ErasureCode(gf::field(w), p + 1, p - 1, 2 * (p - 1),
+                  "RDP(p=" + std::to_string(p) + ")(w=" + std::to_string(w) +
+                      ")"),
+      p_(p) {
+  if (!is_prime(p) || p < 3) {
+    throw std::invalid_argument("RDP requires prime p >= 3");
+  }
+
+  // Row-parity rows: data columns plus the row-parity column.
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    for (std::size_t j = 0; j < p; ++j) h_(i, block_id(i, j)) = 1;
+  }
+  // Diagonal rows: diagonal d over data + row-parity columns, plus the
+  // diagonal-parity cell D_d stored at row d of the last disk.
+  for (std::size_t d = 0; d < p - 1; ++d) {
+    const std::size_t row = (p - 1) + d;
+    for (std::size_t i = 0; i < p - 1; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        if ((i + j) % p == d) h_(row, block_id(i, j)) = 1;
+      }
+    }
+    h_(row, block_id(d, diag_parity_disk())) = 1;
+  }
+
+  parity_.reserve(2 * (p - 1));
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    parity_.push_back(block_id(i, row_parity_disk()));
+    parity_.push_back(block_id(i, diag_parity_disk()));
+  }
+  std::sort(parity_.begin(), parity_.end());
+}
+
+}  // namespace ppm

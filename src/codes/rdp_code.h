@@ -1,0 +1,33 @@
+// Row-Diagonal Parity (Corbett et al., FAST'04): NetApp's RAID-6 code,
+// the paper's second canonical *symmetric* parity citation [6]. Like
+// EVENODD it is XOR-only; unlike EVENODD, the diagonal parity covers the
+// row-parity column too (no adjuster term).
+//
+// Construction (prime p): the stripe is (p-1) rows × (p+1) disks — p-1
+// data disks, the row-parity disk (column p-1) and the diagonal-parity
+// disk (column p). Check rows over GF(2):
+//   * row i:  Σ_{j<p-1} a_{i,j} ⊕ P_i = 0;
+//   * diagonal d (d < p-1):  Σ_{(i,j): i+j ≡ d (mod p), j <= p-1}
+//       c_{i,j} ⊕ D_d = 0 — the sum runs over data *and* row-parity
+//       columns; diagonal p-1 is the "missing" diagonal and is never
+//       stored.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class RDPCode : public ErasureCode {
+ public:
+  /// Construct RDP over prime p >= 3; coefficients are 0/1 within GF(2^w).
+  explicit RDPCode(std::size_t p, unsigned w = 8);
+
+  std::size_t p() const { return p_; }
+  std::size_t row_parity_disk() const { return p_ - 1; }
+  std::size_t diag_parity_disk() const { return p_; }
+
+ private:
+  std::size_t p_;
+};
+
+}  // namespace ppm

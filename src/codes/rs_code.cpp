@@ -1,0 +1,38 @@
+#include "codes/rs_code.h"
+
+#include <stdexcept>
+
+namespace ppm {
+
+RSCode::RSCode(std::size_t k, std::size_t m, unsigned w)
+    : ErasureCode(gf::field(w), k + m, 1, m,
+                  "RS(" + std::to_string(k) + "," + std::to_string(m) +
+                      ")(w=" + std::to_string(w) + ")"),
+      k_(k),
+      m_(m) {
+  if (k == 0 || m == 0) {
+    throw std::invalid_argument("RS requires k > 0 and m > 0");
+  }
+  const gf::Field& f = field();
+  // Field has 2^w = max_element + 1 elements; the Cauchy x/y sets need k+m
+  // distinct ones. (Compare in 64 bits: max_element + 1 overflows at w=32.)
+  if (k + m > static_cast<std::uint64_t>(f.max_element()) + 1) {
+    throw std::invalid_argument("RS: k + m exceeds field size");
+  }
+
+  // Parity row j: Cauchy coefficients 1/(x_j + y_d) over the data strips
+  // (x_j = j, y_d = m + d are disjoint, so x_j + y_d != 0) plus an identity
+  // entry for parity strip j itself.
+  for (std::size_t j = 0; j < m_; ++j) {
+    for (std::size_t d = 0; d < k_; ++d) {
+      h_(j, d) = f.inv(static_cast<gf::Element>(j) ^
+                       static_cast<gf::Element>(m_ + d));
+    }
+    h_(j, k_ + j) = 1;
+  }
+
+  parity_.reserve(m_);
+  for (std::size_t b = k_; b < k_ + m_; ++b) parity_.push_back(b);
+}
+
+}  // namespace ppm

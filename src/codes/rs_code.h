@@ -1,0 +1,27 @@
+// Reed–Solomon baseline (symmetric parity erasure code).
+//
+// RS(k, m) generates m parity strips, each from all k data strips — the
+// symmetric-parity reference the paper compares opt-SD against (Fig. 8,
+// "RS with m+1"). The parity equations use a Cauchy matrix, which makes the
+// code MDS by construction (every square submatrix of a Cauchy matrix is
+// invertible), so any m failures are decodable.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class RSCode : public ErasureCode {
+ public:
+  /// Construct RS(k, m) over GF(2^w); requires k + m <= 2^w.
+  RSCode(std::size_t k, std::size_t m, unsigned w);
+
+  std::size_t k() const { return k_; }
+  std::size_t m() const { return m_; }
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,98 @@
+#include "codes/sd_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codes/coeff_search.h"
+
+namespace ppm {
+
+namespace {
+
+std::string sd_name(std::size_t n, std::size_t r, std::size_t m,
+                    std::size_t s, unsigned w) {
+  return "SD^{" + std::to_string(m) + "," + std::to_string(s) + "}_{" +
+         std::to_string(n) + "," + std::to_string(r) + "}(w=" +
+         std::to_string(w) + ")";
+}
+
+}  // namespace
+
+unsigned SDCode::recommended_width(std::size_t n, std::size_t r) {
+  const std::size_t blocks = n * r;
+  if (blocks <= 255) return 8;      // need n*r distinct powers of alpha
+  if (blocks <= 65535) return 16;
+  return 32;
+}
+
+Matrix SDCode::build_parity_check(const gf::Field& f, std::size_t n,
+                                  std::size_t r, std::size_t m, std::size_t s,
+                                  std::span<const gf::Element> coeffs) {
+  Matrix h(f, m * r + s, n * r);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t q = 0; q < m; ++q) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t l = i * n + j;
+        h(i * m + q, l) = f.pow(coeffs[q], l);
+      }
+    }
+  }
+  for (std::size_t q = m; q < m + s; ++q) {
+    for (std::size_t l = 0; l < n * r; ++l) {
+      h(m * r + q - m, l) = f.pow(coeffs[q], l);
+    }
+  }
+  return h;
+}
+
+std::vector<std::size_t> SDCode::parity_block_ids(std::size_t n,
+                                                  std::size_t r,
+                                                  std::size_t m,
+                                                  std::size_t s) {
+  std::vector<std::size_t> ids;
+  ids.reserve(m * r + s);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = n - m; j < n; ++j) ids.push_back(i * n + j);
+  }
+  // The s coding sectors occupy the tail cells of the data area: last row
+  // first, rightmost data disk first.
+  std::size_t remaining = s;
+  for (std::size_t i = r; i-- > 0 && remaining > 0;) {
+    for (std::size_t j = n - m; j-- > 0 && remaining > 0;) {
+      ids.push_back(i * n + j);
+      --remaining;
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+SDCode::SDCode(std::size_t n, std::size_t r, std::size_t m, std::size_t s,
+               unsigned w, std::vector<gf::Element> coeffs)
+    : ErasureCode(gf::field(w), n, r, m * r + s, sd_name(n, r, m, s, w)),
+      m_(m),
+      s_(s),
+      coeffs_(std::move(coeffs)) {
+  if (n < m + 1 || m == 0) {
+    throw std::invalid_argument("SD code requires 0 < m < n");
+  }
+  if (s > (n - m) * r - 1) {
+    throw std::invalid_argument("SD code: too many coding sectors");
+  }
+  // Coefficient powers a^l must be distinct for l < n*r, so the
+  // multiplicative group (order 2^w - 1) must be at least that large.
+  if (n * r > field().max_element()) {
+    throw std::invalid_argument(
+        "SD code: field too small for n*r blocks (see recommended_width)");
+  }
+  if (coeffs_.empty()) {
+    coeffs_ = sd_coefficients(n, r, m, s, w);
+  }
+  if (coeffs_.size() != m + s) {
+    throw std::invalid_argument("SD code: expected m+s coefficients");
+  }
+  h_ = build_parity_check(field(), n, r, m, s, coeffs_);
+  parity_ = parity_block_ids(n, r, m, s);
+}
+
+}  // namespace ppm

@@ -1,0 +1,62 @@
+// SD codes (Plank et al., FAST'13): the paper's primary asymmetric-parity
+// evaluation target.
+//
+// SD^{m,s}_{n,r}(w | a_0..a_{m+s-1}): a stripe of n disks × r sectors
+// dedicates the last m disks to disk parity and s additional sectors to
+// sector parity. The parity-check matrix H has m·r + s rows over GF(2^w):
+//
+//   * disk-parity rows — for stripe row i and equation q < m:
+//       H[i·m+q, i·n+j] = a_q^(i·n+j)   for j < n, zero elsewhere;
+//   * sector-parity rows — for equation q in [m, m+s):
+//       H[m·r + q - m, l] = a_q^l        for every block l < n·r.
+//
+// With a_0 = 1 the per-row equations are plain XOR parity and the example of
+// the paper's Fig. 2, SD^{1,1}_{4,4}(8|1,2), is reproduced exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class SDCode : public ErasureCode {
+ public:
+  /// Construct SD^{m,s}_{n,r} over GF(2^w). When `coeffs` is empty the
+  /// coefficients come from the cached coefficient search (coeff_search.h);
+  /// otherwise exactly m+s values must be supplied (a_0 first).
+  SDCode(std::size_t n, std::size_t r, std::size_t m, std::size_t s,
+         unsigned w, std::vector<gf::Element> coeffs = {});
+
+  std::size_t m() const { return m_; }
+  std::size_t s() const { return s_; }
+  const std::vector<gf::Element>& coefficients() const { return coeffs_; }
+
+  /// Smallest supported symbol width whose field accommodates n·r distinct
+  /// coefficient powers — the reason the paper's curves switch between
+  /// GF(2^8), GF(2^16) and GF(2^32) as n·r grows (its "jagged lines").
+  static unsigned recommended_width(std::size_t n, std::size_t r);
+
+  /// Build the SD parity-check matrix without constructing a code object
+  /// (shared with the coefficient search).
+  static Matrix build_parity_check(const gf::Field& f, std::size_t n,
+                                   std::size_t r, std::size_t m,
+                                   std::size_t s,
+                                   std::span<const gf::Element> coeffs);
+
+  /// The parity block ids of an SD stripe: every block on the last m disks
+  /// plus the s tail sectors of the remaining disks (last row, rightmost
+  /// surviving columns first, spilling into earlier rows when s > n-m).
+  static std::vector<std::size_t> parity_block_ids(std::size_t n,
+                                                   std::size_t r,
+                                                   std::size_t m,
+                                                   std::size_t s);
+
+ private:
+  std::size_t m_;
+  std::size_t s_;
+  std::vector<gf::Element> coeffs_;
+};
+
+}  // namespace ppm

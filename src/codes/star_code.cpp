@@ -1,0 +1,66 @@
+#include "codes/star_code.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppm {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StarCode::StarCode(std::size_t p, unsigned w)
+    : ErasureCode(gf::field(w), p + 3, p - 1, 3 * (p - 1),
+                  "STAR(p=" + std::to_string(p) + ")(w=" + std::to_string(w) +
+                      ")"),
+      p_(p) {
+  if (!is_prime(p) || p < 3) {
+    throw std::invalid_argument("STAR requires prime p >= 3");
+  }
+
+  // Row-parity rows.
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    for (std::size_t j = 0; j < p; ++j) h_(i, block_id(i, j)) = 1;
+    h_(i, block_id(i, row_parity_disk())) = 1;
+  }
+  // Diagonal rows (slope +1) with the EVENODD adjuster diagonal p-1.
+  for (std::size_t l = 0; l < p - 1; ++l) {
+    const std::size_t row = (p - 1) + l;
+    for (std::size_t i = 0; i < p - 1; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t diag = (i + j) % p;
+        if (diag == l || diag == p - 1) h_(row, block_id(i, j)) ^= 1;
+      }
+    }
+    h_(row, block_id(l, diag_parity_disk())) = 1;
+  }
+  // Anti-diagonal rows (slope -1) with the mirrored adjuster p-1.
+  for (std::size_t l = 0; l < p - 1; ++l) {
+    const std::size_t row = 2 * (p - 1) + l;
+    for (std::size_t i = 0; i < p - 1; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t anti = (i + p - j) % p;
+        if (anti == l || anti == p - 1) h_(row, block_id(i, j)) ^= 1;
+      }
+    }
+    h_(row, block_id(l, anti_parity_disk())) = 1;
+  }
+
+  parity_.reserve(3 * (p - 1));
+  for (std::size_t i = 0; i < p - 1; ++i) {
+    parity_.push_back(block_id(i, row_parity_disk()));
+    parity_.push_back(block_id(i, diag_parity_disk()));
+    parity_.push_back(block_id(i, anti_parity_disk()));
+  }
+  std::sort(parity_.begin(), parity_.end());
+}
+
+}  // namespace ppm

@@ -1,0 +1,37 @@
+// STAR code (Huang & Xu, FAST'05): EVENODD extended with a third,
+// anti-diagonal parity column — tolerates any three disk failures. The
+// paper cites it ([9]) among the symmetric parity codes deployed for
+// multi-failure tolerance.
+//
+// Construction (prime p): the stripe is (p-1) rows × (p+3) disks — p data
+// disks, row parity, diagonal parity (slope +1, with the EVENODD adjuster)
+// and anti-diagonal parity (slope −1, with the mirrored adjuster). Check
+// rows over GF(2):
+//   * row i: Σ_j a_{i,j} ⊕ P_i = 0;
+//   * diagonal l: Σ_{(i+j) ≡ l} a_{i,j} ⊕ Σ_{(i+j) ≡ p-1} a_{i,j} ⊕ Q_l = 0;
+//   * anti-diagonal l: Σ_{(i−j) mod p ≡ l} a_{i,j}
+//                      ⊕ Σ_{(i−j) mod p ≡ p-1} a_{i,j} ⊕ R_l = 0,
+// data cells only (j < p, i < p-1), l in [0, p-1).
+//
+// Three-erasure tolerance is verified exhaustively in the tests (every
+// C(p+3, 3) whole-disk pattern for p = 5 and 7).
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class StarCode : public ErasureCode {
+ public:
+  explicit StarCode(std::size_t p, unsigned w = 8);
+
+  std::size_t p() const { return p_; }
+  std::size_t row_parity_disk() const { return p_; }
+  std::size_t diag_parity_disk() const { return p_ + 1; }
+  std::size_t anti_parity_disk() const { return p_ + 2; }
+
+ private:
+  std::size_t p_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,54 @@
+#include "codes/xorbas_lrc_code.h"
+
+#include <stdexcept>
+
+namespace ppm {
+
+XorbasLRCCode::XorbasLRCCode(std::size_t k, std::size_t l, std::size_t g,
+                             unsigned w)
+    : ErasureCode(gf::field(w), k + l + g + 1, 1, l + g + 1,
+                  "XorbasLRC(" + std::to_string(k) + "," + std::to_string(l) +
+                      "," + std::to_string(g) + ")(w=" + std::to_string(w) +
+                      ")"),
+      k_(k),
+      l_(l),
+      g_(g),
+      group_size_(l == 0 ? 1 : (k + l - 1) / l) {
+  if (k == 0 || l == 0 || g == 0 || l > k) {
+    throw std::invalid_argument("XorbasLRC requires 0 < l <= k and g > 0");
+  }
+  const gf::Field& f = field();
+  if ((g + 1) * (k - 1) >= f.max_element()) {
+    throw std::invalid_argument("XorbasLRC: field too small for k, g");
+  }
+
+  // Data-local rows: XOR over each group plus its parity strip.
+  for (std::size_t grp = 0; grp < l_; ++grp) {
+    for (const std::size_t d : group_members(grp)) h_(grp, d) = 1;
+    h_(grp, local_parity_block(grp)) = 1;
+  }
+  // Global rows: Vandermonde over data plus the global parity strip.
+  for (std::size_t j = 0; j < g_; ++j) {
+    for (std::size_t d = 0; d < k_; ++d) {
+      h_(l_ + j, d) = f.exp2((j + 1) * d);
+    }
+    h_(l_ + j, global_parity_block(j)) = 1;
+  }
+  // Global-local row: XOR over the global parities plus its own strip.
+  const std::size_t row = l_ + g_;
+  for (std::size_t j = 0; j < g_; ++j) h_(row, global_parity_block(j)) = 1;
+  h_(row, global_local_parity_block()) = 1;
+
+  parity_.reserve(l_ + g_ + 1);
+  for (std::size_t b = k_; b < total_blocks(); ++b) parity_.push_back(b);
+}
+
+std::vector<std::size_t> XorbasLRCCode::group_members(std::size_t grp) const {
+  std::vector<std::size_t> out;
+  const std::size_t begin = grp * group_size_;
+  const std::size_t end = std::min(k_, begin + group_size_);
+  for (std::size_t d = begin; d < end; ++d) out.push_back(d);
+  return out;
+}
+
+}  // namespace ppm

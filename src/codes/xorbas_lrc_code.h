@@ -1,0 +1,50 @@
+// Facebook/HDFS-RAID-style LRC ("XORing Elephants", Sathiamoorthy et al.,
+// VLDB'13) — the second LRC family the paper's introduction cites [18].
+//
+// Layout for XorbasLRC(k, l, g): k data strips in l local groups with one
+// XOR local parity each; g Reed–Solomon-style global parities; and one
+// additional local parity covering the global parities, so a single lost
+// global parity also repairs locally. (The published construction chooses
+// coefficients to make that last parity *implied* — computable as a
+// combination of the data locals, saving a strip; we store it explicitly,
+// which keeps the family parameterizable for arbitrary (k, l, g) instead of
+// only the aligned 10-6-5 instance. The repair and decode paths exercised
+// are the same.)
+//
+// PPM profile: up to l + 1 independent single-block repairs per stripe —
+// one per data group plus the global-parity group.
+#pragma once
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+class XorbasLRCCode : public ErasureCode {
+ public:
+  /// Block layout: data [0, k), data-local parities [k, k+l), global
+  /// parities [k+l, k+l+g), global-local parity k+l+g.
+  XorbasLRCCode(std::size_t k, std::size_t l, std::size_t g, unsigned w);
+
+  std::size_t k() const { return k_; }
+  std::size_t l() const { return l_; }
+  std::size_t g() const { return g_; }
+
+  double storage_cost() const {
+    return static_cast<double>(total_blocks()) / static_cast<double>(k_);
+  }
+
+  std::size_t group_of(std::size_t d) const { return d / group_size_; }
+  std::vector<std::size_t> group_members(std::size_t grp) const;
+  std::size_t local_parity_block(std::size_t grp) const { return k_ + grp; }
+  std::size_t global_parity_block(std::size_t j) const { return k_ + l_ + j; }
+  /// The local parity protecting the global parities.
+  std::size_t global_local_parity_block() const { return k_ + l_ + g_; }
+
+ private:
+  std::size_t k_;
+  std::size_t l_;
+  std::size_t g_;
+  std::size_t group_size_;
+};
+
+}  // namespace ppm

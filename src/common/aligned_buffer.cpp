@@ -1,0 +1,51 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace ppm {
+
+AlignedBuffer::AlignedBuffer(std::size_t size) : size_(size) {
+  if (size_ == 0) return;
+  // Round the allocation up to a multiple of the alignment so SIMD kernels
+  // may safely issue full-width loads/stores on the final vector.
+  const std::size_t padded = (size_ + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, padded);
+  if (p == nullptr) throw std::bad_alloc{};
+  data_ = static_cast<std::uint8_t*>(p);
+  std::memset(data_, 0, padded);
+}
+
+AlignedBuffer AlignedBuffer::uninitialized(std::size_t size) {
+  AlignedBuffer buf;
+  if (size == 0) return buf;
+  const std::size_t padded = (size + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, padded);
+  if (p == nullptr) throw std::bad_alloc{};
+  buf.data_ = static_cast<std::uint8_t*>(p);
+  buf.size_ = size;
+  return buf;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::clear() {
+  if (data_ != nullptr) std::memset(data_, 0, size_);
+}
+
+}  // namespace ppm

@@ -1,0 +1,49 @@
+// Cache-line aligned byte buffers for stripe data.
+//
+// Erasure-coded block regions are the operands of every mult_XOR; keeping
+// them 64-byte aligned lets the SIMD kernels use aligned loads on the hot
+// path and keeps blocks from sharing cache lines across worker threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ppm {
+
+/// Owning, 64-byte-aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t size);
+  ~AlignedBuffer();
+
+  /// Allocation without the zero-fill pass — for scratch regions whose
+  /// first use overwrites them (e.g. the normal-sequence intermediate
+  /// blocks, written with the overwrite kernel before any read).
+  static AlignedBuffer uninitialized(std::size_t size);
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<std::uint8_t> span() { return {data_, size_}; }
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+
+  /// Set every byte to zero.
+  void clear();
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppm

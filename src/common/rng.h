@@ -1,0 +1,87 @@
+// Deterministic xoshiro256** PRNG.
+//
+// The paper drew failure scenarios from random.org; we substitute a seeded,
+// reproducible generator so every experiment run regenerates exactly the same
+// workload (DESIGN.md §3). Header-only: it is used from tests, benches and
+// the workload generator alike.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ppm {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t bounded(std::uint64_t bound) {
+    // Rejection-free variant is unnecessary here; the simple reduction bias
+    // (< 2^-32 for all bounds used) is irrelevant for workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given rate (events/unit).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u == 0.0) u = uniform();  // avoid log(0)
+    return -std::log(u) / rate;
+  }
+
+  /// Fill a byte region with pseudo-random data.
+  void fill(std::uint8_t* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(dst + i, &v, 8);
+    }
+    if (i < n) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(dst + i, &v, n - i);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ppm

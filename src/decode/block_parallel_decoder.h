@@ -1,0 +1,65 @@
+// Block-level (region-split) parallel decoding — the classic alternative
+// the paper's related work contrasts PPM against ([36]-[38]): keep the
+// whole-matrix decode of §II-B but split every block region into T
+// contiguous slices and run the complete plan on each slice concurrently.
+// Region operations are element-wise, so slices are independent.
+//
+// Strengths/weaknesses vs PPM (measured in bench/ablation_block_parallel):
+// region splitting parallelizes *all* the work including H_rest's serial
+// tail, but executes the full C1/C2 operation count — it has no partition
+// and therefore no cost reduction; PPM runs fewer operations but owns a
+// serial tail. On real multi-core hardware the strongest configuration is
+// often PPM's partition with region-split execution of H_rest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "decode/scenario.h"
+#include "decode/traditional_decoder.h"
+
+namespace ppm {
+
+struct BlockParallelResult {
+  DecodeStats stats;           ///< ops counted once (slices don't multiply C)
+  Sequence sequence_used = Sequence::kMatrixFirst;
+  unsigned slices = 1;
+  double seconds = 0;          ///< measured wall time
+  double plan_seconds = 0;
+  std::vector<double> slice_seconds;  ///< per-slice execution time
+
+  /// Modeled wall time with each slice on its own core: planning + the
+  /// slowest slice (same single-core substitution as PpmResult).
+  double modeled_seconds() const;
+};
+
+class BlockParallelDecoder {
+ public:
+  /// `threads` slices (0 = min(4, hardware), the same default as PPM).
+  /// With `sequential` the slices execute one after another in the calling
+  /// thread — the slice split and per-slice timings (and therefore
+  /// modeled_seconds) are identical, but on a single-core host the
+  /// measurements are not polluted by thread interleaving; benches use
+  /// this the same way they use PPM at T=1.
+  explicit BlockParallelDecoder(const ErasureCode& code, unsigned threads = 0,
+                                SequencePolicy policy = SequencePolicy::kAuto,
+                                bool sequential = false)
+      : code_(&code),
+        threads_(threads),
+        policy_(policy),
+        sequential_(sequential) {}
+
+  std::optional<BlockParallelResult> decode(const FailureScenario& scenario,
+                                            std::uint8_t* const* blocks,
+                                            std::size_t block_bytes) const;
+
+ private:
+  const ErasureCode* code_;
+  unsigned threads_;
+  SequencePolicy policy_;
+  bool sequential_;
+};
+
+}  // namespace ppm

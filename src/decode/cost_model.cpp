@@ -1,0 +1,55 @@
+#include "decode/cost_model.h"
+
+#include <numeric>
+#include <vector>
+
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "decode/plan.h"
+
+namespace ppm {
+
+std::optional<SequenceCosts> analyze_costs(const ErasureCode& code,
+                                           const FailureScenario& scenario) {
+  if (scenario.empty()) return SequenceCosts{};
+  const Matrix& h = code.parity_check();
+  std::vector<std::size_t> all_rows(h.rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  const auto whole =
+      SubPlan::sequence_costs(h, all_rows, scenario.faulty(), scenario.faulty());
+  if (!whole.has_value()) return std::nullopt;
+
+  SequenceCosts out;
+  out.c1 = whole->first;
+  out.c2 = whole->second;
+
+  const LogTable table = LogTable::build(h, scenario.faulty());
+  const Partition part = make_partition(h, table);
+  out.p = part.p();
+
+  std::size_t groups_mf = 0;
+  for (const IndependentGroup& g : part.groups) {
+    const auto costs =
+        SubPlan::sequence_costs(h, g.rows, g.faulty_cols, scenario.faulty());
+    if (!costs.has_value()) return std::nullopt;  // unreachable: F_i checked
+    groups_mf += costs->second;
+  }
+
+  if (part.rest_empty()) {
+    out.c3 = groups_mf;
+    out.c4 = groups_mf;
+    return out;
+  }
+  // Rest system: the recovered group blocks act as survivors, so only the
+  // dependent faulty blocks are excluded from the survivor set.
+  const auto rest = SubPlan::sequence_costs(h, part.rest_rows,
+                                            part.rest_faulty,
+                                            part.rest_faulty);
+  if (!rest.has_value()) return std::nullopt;
+  out.c3 = groups_mf + rest->second;
+  out.c4 = groups_mf + rest->first;
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,33 @@
+// Empirical computational-cost model: the paper's C1..C4 (§II-B, §III-B),
+// counted exactly from the nonzero structure of the decoding matrices of a
+// concrete code + failure scenario. These are the quantities plotted in
+// Figs. 4-6 and the inputs to the decoders' Auto sequence policies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "codes/erasure_code.h"
+#include "decode/scenario.h"
+
+namespace ppm {
+
+struct SequenceCosts {
+  std::size_t c1 = 0;  ///< traditional, normal sequence: u(F⁻¹) + u(S)
+  std::size_t c2 = 0;  ///< traditional, matrix-first: u(F⁻¹·S)
+  std::size_t c3 = 0;  ///< PPM, matrix-first rest: Σu(Fi⁻¹Si) + u(Fr⁻¹Sr)
+  std::size_t c4 = 0;  ///< PPM, normal rest: Σu(Fi⁻¹Si) + u(Fr⁻¹) + u(Sr)
+  std::size_t p = 0;   ///< number of independent sub-matrices
+
+  /// min(c3, c4): the cost PPM's Auto rest policy realizes.
+  std::size_t ppm_best() const { return c3 < c4 ? c3 : c4; }
+};
+
+/// Analyze a scenario; std::nullopt when it is undecodable. The whole-H
+/// plan yields C1/C2; the PPM partition yields C3/C4 (with an empty rest
+/// the rest terms are zero; with p = 0 the partition degenerates and
+/// C3/C4 equal the cost of decoding the whole system both ways).
+std::optional<SequenceCosts> analyze_costs(const ErasureCode& code,
+                                           const FailureScenario& scenario);
+
+}  // namespace ppm

@@ -1,0 +1,49 @@
+// Degraded reads: recover exactly one unavailable block at minimum cost.
+//
+// When an upper-layer read hits an unavailable block (the 90%-transient
+// failure class motivating LRC, paper §I/§II-A), the system does not need a
+// full-stripe decode — it needs that one block, from as few survivors as
+// possible. The reader enumerates every check-row combination that can
+// express the target block in terms of available blocks and picks the one
+// with the fewest region operations; for an LRC data strip that is its
+// local group, for an SD sector its row parity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "codes/erasure_code.h"
+#include "decode/plan.h"
+#include "decode/scenario.h"
+
+namespace ppm {
+
+struct DegradedReadPlan {
+  SubPlan plan;            ///< recovers exactly the target block
+  std::size_t cost;        ///< region operations (== survivors read)
+  std::size_t survivors;   ///< distinct blocks read
+};
+
+class DegradedReader {
+ public:
+  explicit DegradedReader(const ErasureCode& code) : code_(&code) {}
+
+  /// Plan the cheapest recovery of `target` when every block listed in
+  /// `unavailable` (which must include `target`) cannot be read.
+  /// std::nullopt when the target is not recoverable without touching
+  /// other unavailable blocks... in which case callers fall back to a full
+  /// PPM decode of the whole unavailable set.
+  std::optional<DegradedReadPlan> plan(std::size_t target,
+                                       const FailureScenario& unavailable)
+      const;
+
+  /// Plan + execute in one call; true on success (target block rewritten).
+  bool read(std::size_t target, const FailureScenario& unavailable,
+            std::uint8_t* const* blocks, std::size_t block_bytes,
+            DecodeStats* stats = nullptr) const;
+
+ private:
+  const ErasureCode* code_;
+};
+
+}  // namespace ppm

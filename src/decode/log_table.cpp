@@ -1,0 +1,21 @@
+#include "decode/log_table.h"
+
+namespace ppm {
+
+LogTable LogTable::build(const Matrix& h,
+                         std::span<const std::size_t> faulty) {
+  LogTable table;
+  table.faulty.assign(faulty.begin(), faulty.end());
+  table.rows.reserve(h.rows());
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    LogRow row;
+    row.row = i;
+    for (const std::size_t col : faulty) {
+      if (h(i, col) != 0) row.faulty_cols.push_back(col);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ppm

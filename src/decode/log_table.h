@@ -1,0 +1,33 @@
+// The paper's Log Table (§III-A): per parity-check row, which faulty
+// columns it touches. Row i of the table is (i, t_i, l_i) where t_i is the
+// number of nonzero coefficients located in faulty columns and l_i lists
+// those columns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+struct LogRow {
+  std::size_t row = 0;                   ///< row index i in H
+  std::vector<std::size_t> faulty_cols;  ///< l_i (sorted); t_i = size()
+  std::size_t t() const { return faulty_cols.size(); }
+};
+
+struct LogTable {
+  std::vector<LogRow> rows;  ///< one entry per row of H, in row order
+  std::vector<std::size_t> faulty;  ///< the faulty set the table was built
+                                    ///< for (sorted) — kept because a block
+                                    ///< whose H column is all zero appears
+                                    ///< in no row yet still must be
+                                    ///< accounted as unrecoverable
+
+  /// Build the log table of `h` for the given (sorted) faulty columns.
+  static LogTable build(const Matrix& h, std::span<const std::size_t> faulty);
+};
+
+}  // namespace ppm

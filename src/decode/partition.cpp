@@ -1,0 +1,97 @@
+#include "decode/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "matrix/solve.h"
+
+namespace ppm {
+
+Partition make_partition(const Matrix& h, const LogTable& table) {
+  Partition out;
+
+  // Bucket rows by signature l_i (t >= 1 only; t = 0 rows are untouched by
+  // the failure and carry no work). The faulty set itself comes from the
+  // table, NOT from the union of row signatures: a faulty block whose H
+  // column is all zero appears in no signature yet must surface as a
+  // dependent (and there unrecoverable) block rather than vanish.
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> buckets;
+  for (const LogRow& row : table.rows) {
+    if (row.t() == 0) continue;
+    buckets[row.faulty_cols].push_back(row.row);
+  }
+  const std::vector<std::size_t>& all_faulty = table.faulty;
+
+  // Accept candidate groups smallest-t first so cheap single-block
+  // recoveries are never blocked by a larger overlapping signature.
+  std::vector<const std::pair<const std::vector<std::size_t>,
+                              std::vector<std::size_t>>*> order;
+  order.reserve(buckets.size());
+  for (const auto& b : buckets) order.push_back(&b);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->first.size() < b->first.size();
+                   });
+
+  std::set<std::size_t> covered;
+  std::set<std::size_t> used_rows;
+  for (const auto* bucket : order) {
+    const std::vector<std::size_t>& sig = bucket->first;
+    const std::vector<std::size_t>& rows = bucket->second;
+    const std::size_t f = sig.size();
+    if (rows.size() < f) continue;  // not enough matching rows
+    bool overlaps = false;
+    for (const std::size_t c : sig) overlaps |= covered.contains(c);
+    if (overlaps) continue;
+
+    // Pick f bucket rows whose square F_i is invertible; candidates with a
+    // rank-deficient bucket are left for H_rest. Lighter rows first: when
+    // several equations recover the same blocks (e.g. a Xorbas global
+    // parity covered by both its Vandermonde row and the global-local
+    // row), the sparse one reads fewer survivors.
+    std::vector<std::size_t> rows_by_weight(rows);
+    std::stable_sort(rows_by_weight.begin(), rows_by_weight.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       std::size_t wa = 0;
+                       std::size_t wb = 0;
+                       for (std::size_t c = 0; c < h.cols(); ++c) {
+                         wa += (h(a, c) != 0);
+                         wb += (h(b, c) != 0);
+                       }
+                       return wa < wb;
+                     });
+    const Matrix fi_all = h.select_rows(rows_by_weight).select_columns(sig);
+    const auto sel = independent_rows(fi_all);
+    if (!sel.has_value()) continue;
+    IndependentGroup grp;
+    grp.faulty_cols = sig;
+    grp.rows.reserve(f);
+    for (const std::size_t idx : *sel) grp.rows.push_back(rows_by_weight[idx]);
+    std::sort(grp.rows.begin(), grp.rows.end());
+
+    for (const std::size_t c : sig) covered.insert(c);
+    // All bucket rows (including surplus beyond f) are consumed: once the
+    // group is recovered the surplus rows are fully satisfied checks.
+    for (const std::size_t rr : rows) used_rows.insert(rr);
+    out.groups.push_back(std::move(grp));
+  }
+
+  for (const std::size_t c : all_faulty) {
+    if (!covered.contains(c)) out.rest_faulty.push_back(c);
+  }
+
+  // H_rest: unconsumed rows that still constrain a dependent faulty block.
+  for (const LogRow& row : table.rows) {
+    if (row.t() == 0 || used_rows.contains(row.row)) continue;
+    bool touches_rest = false;
+    for (const std::size_t c : row.faulty_cols) {
+      touches_rest |= std::binary_search(out.rest_faulty.begin(),
+                                         out.rest_faulty.end(), c);
+    }
+    if (touches_rest) out.rest_rows.push_back(row.row);
+  }
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,50 @@
+// Independence exploitation and matrix partitioning (paper §III-A).
+//
+// From the log table, rows with identical faulty-column signatures l_i of
+// size t_i = f are grouped; a group of f such rows forms an *independent
+// sub-matrix* that recovers exactly its f faulty blocks from surviving
+// blocks only. Everything else becomes the remaining sub-matrix H_rest,
+// solved after the groups with the recovered blocks acting as survivors.
+//
+// Deviations from the paper's sketch, made explicit here because they
+// matter for correctness:
+//  * groups are accepted smallest-t first and must be disjoint from blocks
+//    already covered by an accepted group (overlapping candidates would
+//    recover a block twice — wasted work at best);
+//  * a candidate group whose square F_i is singular is demoted to H_rest
+//    (the paper implicitly assumes invertibility);
+//  * signature groups with more than f rows contribute f rows to the
+//    independent sub-matrix; surplus rows are redundant once the group is
+//    recovered and are dropped;
+//  * rows of H_rest that touch no *dependent* faulty block carry no
+//    information for the remaining solve and are dropped as well.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "decode/log_table.h"
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+struct IndependentGroup {
+  std::vector<std::size_t> rows;         ///< rows of H (size f)
+  std::vector<std::size_t> faulty_cols;  ///< blocks recovered (size f, sorted)
+};
+
+struct Partition {
+  std::vector<IndependentGroup> groups;  ///< the p independent sub-matrices
+  std::vector<std::size_t> rest_rows;    ///< rows of H_rest
+  std::vector<std::size_t> rest_faulty;  ///< dependent faulty blocks (sorted)
+
+  std::size_t p() const { return groups.size(); }
+  bool rest_empty() const { return rest_faulty.empty(); }
+};
+
+/// Partition `h` for the faulty set described by `table` (built from the
+/// same `h`). Always succeeds; whether the resulting systems are solvable
+/// is decided when planning.
+Partition make_partition(const Matrix& h, const LogTable& table);
+
+}  // namespace ppm

@@ -1,0 +1,175 @@
+#include "decode/plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "matrix/solve.h"
+
+namespace ppm {
+
+namespace {
+
+// Shared front half of planning: restrict h to `rows`, split columns into
+// F (unknowns) and S (survivors = nonzero columns not excluded), select an
+// invertible row subset and invert. Returns false when unsolvable.
+struct Prepared {
+  std::vector<std::size_t> survivors;
+  Matrix finv;
+  Matrix s_used;
+};
+
+std::optional<Prepared> prepare(const Matrix& h,
+                                std::span<const std::size_t> rows,
+                                std::span<const std::size_t> unknowns,
+                                std::span<const std::size_t> excluded) {
+  const Matrix sub = h.select_rows(rows);
+
+  std::vector<std::size_t> survivors;
+  for (std::size_t c = 0; c < sub.cols(); ++c) {
+    if (std::binary_search(excluded.begin(), excluded.end(), c)) continue;
+    if (!sub.column_is_zero(c)) survivors.push_back(c);
+  }
+
+  const Matrix f_tall = sub.select_columns(unknowns);
+  const auto rowsel = independent_rows(f_tall);
+  if (!rowsel.has_value()) return std::nullopt;
+
+  const Matrix f_square = f_tall.select_rows(*rowsel);
+  auto finv = f_square.inverse();
+  if (!finv.has_value()) return std::nullopt;  // unreachable after rowsel
+
+  Matrix s_used = sub.select_columns(survivors).select_rows(*rowsel);
+  return Prepared{std::move(survivors), std::move(*finv), std::move(s_used)};
+}
+
+}  // namespace
+
+std::optional<SubPlan> SubPlan::make(const Matrix& h,
+                                     std::span<const std::size_t> rows,
+                                     std::span<const std::size_t> unknowns,
+                                     std::span<const std::size_t> excluded,
+                                     Sequence seq) {
+  auto prep = prepare(h, rows, unknowns, excluded);
+  if (!prep.has_value()) return std::nullopt;
+
+  SubPlan plan(h.field(), seq);
+  plan.unknowns_.assign(unknowns.begin(), unknowns.end());
+  plan.survivors_ = std::move(prep->survivors);
+  if (seq == Sequence::kNormal) {
+    plan.cost_ = prep->finv.nonzeros() + prep->s_used.nonzeros();
+    plan.finv_ = std::move(prep->finv);
+    plan.s_ = std::move(prep->s_used);
+  } else {
+    plan.finv_ = prep->finv * prep->s_used;  // G
+    plan.cost_ = plan.finv_.nonzeros();
+  }
+  // Distinct survivor blocks actually read: columns of the applied matrix
+  // (S for normal, G for matrix-first) with at least one nonzero.
+  const Matrix& applied = seq == Sequence::kNormal ? plan.s_ : plan.finv_;
+  for (std::size_t c = 0; c < applied.cols(); ++c) {
+    plan.source_blocks_ += !applied.column_is_zero(c);
+  }
+  return plan;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> SubPlan::sequence_costs(
+    const Matrix& h, std::span<const std::size_t> rows,
+    std::span<const std::size_t> unknowns,
+    std::span<const std::size_t> excluded) {
+  auto prep = prepare(h, rows, unknowns, excluded);
+  if (!prep.has_value()) return std::nullopt;
+  const std::size_t normal = prep->finv.nonzeros() + prep->s_used.nonzeros();
+  const std::size_t mf = (prep->finv * prep->s_used).nonzeros();
+  return std::make_pair(normal, mf);
+}
+
+namespace {
+
+// Region tile for the execution loops. Large blocks are processed in
+// tiles so that a survivor tile read for one target row is still cached
+// when the next row needs it; without tiling, multi-megabyte blocks evict
+// each other between rows and every mult_XOR streams from memory.
+constexpr std::size_t kTileBytes = 256 * 1024;
+
+}  // namespace
+
+void SubPlan::execute(std::uint8_t* const* blocks, std::size_t block_bytes,
+                      DecodeStats* stats) const {
+  const gf::Field& f = finv_.field();
+  DecodeStats local;
+
+  // Apply one matrix row to one tile: dst[dst_off..] = Σ_j M(row, j) *
+  // src_j[src_off..], using the overwrite kernel for the first term to
+  // skip a zeroing pass.
+  const auto apply_row = [&](const Matrix& mat, std::size_t row,
+                             std::uint8_t* const* srcs, std::size_t src_off,
+                             std::uint8_t* dst, std::size_t dst_off,
+                             std::size_t len) {
+    bool first = true;
+    for (std::size_t j = 0; j < mat.cols(); ++j) {
+      const gf::Element c = mat(row, j);
+      if (c == 0) continue;
+      if (first) {
+        f.mult_region(dst + dst_off, srcs[j] + src_off, c, len);
+        first = false;
+      } else {
+        f.mult_region_xor(dst + dst_off, srcs[j] + src_off, c, len);
+      }
+    }
+    if (first) std::memset(dst + dst_off, 0, len);  // all-zero matrix row
+  };
+
+  // Gather survivor region pointers in column order.
+  std::vector<std::uint8_t*> surv(survivors_.size());
+  for (std::size_t j = 0; j < survivors_.size(); ++j) {
+    surv[j] = blocks[survivors_[j]];
+  }
+
+  // Tile size: a multiple of the symbol size (kTileBytes already is, for
+  // every supported width).
+  static_assert(kTileBytes % 4 == 0);
+
+  if (seq_ == Sequence::kMatrixFirst) {
+    // BF = G · BS directly into the unknown blocks.
+    for (std::size_t off = 0; off < block_bytes; off += kTileBytes) {
+      const std::size_t len = std::min(kTileBytes, block_bytes - off);
+      for (std::size_t i = 0; i < unknowns_.size(); ++i) {
+        apply_row(finv_, i, surv.data(), off, blocks[unknowns_[i]], off,
+                  len);
+      }
+    }
+    local.mult_xors = finv_.nonzeros();
+  } else {
+    // tmp = S · BS into scratch, then BF = F⁻¹ · tmp, per tile. The
+    // scratch covers one tile per unknown (reused across tiles) and needs
+    // no zero-fill: apply_row's first term uses the overwrite kernel.
+    const std::size_t n = unknowns_.size();
+    const std::size_t tile = std::min(kTileBytes, block_bytes);
+    AlignedBuffer scratch = AlignedBuffer::uninitialized(n * tile);
+    std::vector<std::uint8_t*> tmp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = scratch.data() + i * tile;
+    }
+    for (std::size_t off = 0; off < block_bytes; off += kTileBytes) {
+      const std::size_t len = std::min(kTileBytes, block_bytes - off);
+      for (std::size_t i = 0; i < n; ++i) {
+        apply_row(s_, i, surv.data(), off, tmp[i], 0, len);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        apply_row(finv_, i, tmp.data(), 0, blocks[unknowns_[i]], off, len);
+      }
+    }
+    local.mult_xors = finv_.nonzeros() + s_.nonzeros();
+  }
+  local.bytes_touched = local.mult_xors * block_bytes;
+
+  if (stats != nullptr) {
+    stats->mult_xors += local.mult_xors;
+    stats->bytes_touched += local.bytes_touched;
+    stats->blocks_read += source_blocks_;
+  }
+}
+
+}  // namespace ppm

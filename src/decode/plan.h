@@ -1,0 +1,93 @@
+// Matrix-decode planning and execution for one (sub-)system.
+//
+// Planning turns a set of parity-check rows plus a set of unknown blocks
+// into the small matrices of §II-B/§III-B; execution then applies those
+// matrices to block regions with mult_XOR. The two calculation sequences of
+// the paper are supported:
+//
+//   * Normal      — tmp = S · BS, then BF = F⁻¹ · tmp
+//                   (cost C = u(F⁻¹) + u(S));
+//   * MatrixFirst — G = F⁻¹ · S once, then BF = G · BS
+//                   (cost C = u(F⁻¹ · S)).
+//
+// Costs are exact mult_XOR counts and are what the cost model and the
+// decoders' Auto policies compare.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+enum class Sequence {
+  kNormal,       ///< F⁻¹ · (S · BS)
+  kMatrixFirst,  ///< (F⁻¹ · S) · BS
+};
+
+/// Cumulative region-operation statistics for a decode.
+struct DecodeStats {
+  std::size_t mult_xors = 0;      ///< region ops issued (the paper's C)
+  std::size_t bytes_touched = 0;  ///< source bytes read by region ops
+  std::size_t blocks_read = 0;    ///< distinct survivor blocks read (I/O)
+};
+
+/// A planned recovery of `unknowns` from `survivors`.
+class SubPlan {
+ public:
+  Sequence sequence() const { return seq_; }
+  std::span<const std::size_t> unknowns() const { return unknowns_; }
+  std::span<const std::size_t> survivors() const { return survivors_; }
+
+  /// Exact mult_XOR count of executing this plan.
+  std::size_t cost() const { return cost_; }
+
+  /// Distinct survivor blocks the execution reads (the decode's I/O).
+  std::size_t source_blocks() const { return source_blocks_; }
+
+  /// Apply the plan: read survivor blocks, write unknown blocks.
+  /// `blocks[id]` is the region of block `id`; all regions have
+  /// `block_bytes` bytes. Thread-safe w.r.t. other SubPlans touching
+  /// disjoint unknown blocks.
+  void execute(std::uint8_t* const* blocks, std::size_t block_bytes,
+               DecodeStats* stats = nullptr) const;
+
+  /// Plan recovery of `unknowns` using parity-check rows `rows` of `h`.
+  /// Survivor columns are the nonzero columns of those rows minus every
+  /// member of `excluded` (the full faulty set — unknowns of *other*
+  /// sub-systems must not be read). All-zero columns never enter the plan
+  /// (paper §III-A). Returns std::nullopt when the system is unsolvable
+  /// (rank(F) < |unknowns|).
+  static std::optional<SubPlan> make(const Matrix& h,
+                                     std::span<const std::size_t> rows,
+                                     std::span<const std::size_t> unknowns,
+                                     std::span<const std::size_t> excluded,
+                                     Sequence seq);
+
+  /// Cost both sequences would have for this system; used by Auto policies
+  /// without planning twice. Returns {normal, matrix_first}.
+  static std::optional<std::pair<std::size_t, std::size_t>> sequence_costs(
+      const Matrix& h, std::span<const std::size_t> rows,
+      std::span<const std::size_t> unknowns,
+      std::span<const std::size_t> excluded);
+
+ private:
+  SubPlan(const gf::Field& f, Sequence seq)
+      : seq_(seq), finv_(f, 0, 0), s_(f, 0, 0) {}
+
+  Sequence seq_;
+  std::vector<std::size_t> unknowns_;   // blocks written (f of them)
+  std::vector<std::size_t> survivors_;  // blocks read
+  // Normal: finv_ (f×f) and s_ (f×|survivors|) both used.
+  // MatrixFirst: finv_ holds G = F⁻¹·S (f×|survivors|); s_ is empty.
+  Matrix finv_;
+  Matrix s_;
+  std::size_t cost_ = 0;
+  std::size_t source_blocks_ = 0;
+};
+
+}  // namespace ppm

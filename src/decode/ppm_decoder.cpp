@@ -1,0 +1,165 @@
+#include "decode/ppm_decoder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "common/cpu.h"
+#include "common/timer.h"
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "parallel/task_group.h"
+
+namespace ppm {
+
+double PpmResult::modeled_seconds_lpt(unsigned lanes) const {
+  if (lanes == 0) lanes = threads_used;
+  if (lanes == 0) lanes = 1;
+  std::vector<double> sorted(task_seconds);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<double> lane(lanes, 0.0);
+  for (const double t : sorted) {
+    *std::min_element(lane.begin(), lane.end()) += t;
+  }
+  const double makespan =
+      lane.empty() ? 0.0 : *std::max_element(lane.begin(), lane.end());
+  return plan_seconds + makespan + rest_seconds;
+}
+
+double PpmResult::modeled_seconds_with_overhead(unsigned lanes) const {
+  if (lanes == 0) lanes = threads_used;
+  double overhead = 0;
+  if (task_seconds.size() > 1 && lanes > 1) {
+    overhead = static_cast<double>(lanes) * ThreadPool::thread_spawn_seconds();
+  }
+  return modeled_seconds(lanes) + overhead;
+}
+
+double PpmResult::modeled_seconds(unsigned lanes) const {
+  if (lanes == 0) lanes = threads_used;
+  if (lanes == 0) lanes = 1;
+  // Round-robin schedule, exactly how the tasks were assigned (Algorithm 1:
+  // task i runs on thread i mod T); makespan = the slowest lane.
+  std::vector<double> lane(lanes, 0.0);
+  for (std::size_t i = 0; i < task_seconds.size(); ++i) {
+    lane[i % lanes] += task_seconds[i];
+  }
+  const double makespan =
+      lane.empty() ? 0.0 : *std::max_element(lane.begin(), lane.end());
+  return plan_seconds + makespan + rest_seconds;
+}
+
+std::optional<PpmResult> PpmDecoder::decode(const FailureScenario& scenario,
+                                            std::uint8_t* const* blocks,
+                                            std::size_t block_bytes) const {
+  PpmResult result;
+  if (scenario.empty()) return result;
+
+  const Timer total;
+  const Matrix& h = code_->parity_check();
+
+  // Step 2: log table + partition.
+  const LogTable table = LogTable::build(h, scenario.faulty());
+  const Partition part = make_partition(h, table);
+  result.p = part.p();
+  result.dependent_blocks = part.rest_faulty.size();
+
+  // Step 3 planning: one matrix-first plan per independent sub-matrix.
+  std::vector<SubPlan> group_plans;
+  group_plans.reserve(part.p());
+  for (const IndependentGroup& g : part.groups) {
+    auto plan = SubPlan::make(h, g.rows, g.faulty_cols, scenario.faulty(),
+                              Sequence::kMatrixFirst);
+    if (!plan.has_value()) return std::nullopt;  // unreachable: F_i checked
+    group_plans.push_back(std::move(*plan));
+  }
+
+  // Step 4 planning: the remaining sub-matrix, recovered blocks counted as
+  // survivors. Sequence per options (Auto = the C3-vs-C4 comparison).
+  std::optional<SubPlan> rest_plan;
+  if (!part.rest_empty()) {
+    Sequence seq = Sequence::kNormal;
+    switch (options_.rest_policy) {
+      case SequencePolicy::kNormal:
+        break;
+      case SequencePolicy::kMatrixFirst:
+        seq = Sequence::kMatrixFirst;
+        break;
+      case SequencePolicy::kAuto: {
+        const auto costs = SubPlan::sequence_costs(
+            h, part.rest_rows, part.rest_faulty, part.rest_faulty);
+        if (!costs.has_value()) return std::nullopt;
+        seq = costs->second < costs->first ? Sequence::kMatrixFirst
+                                           : Sequence::kNormal;
+        break;
+      }
+    }
+    rest_plan = SubPlan::make(h, part.rest_rows, part.rest_faulty,
+                              part.rest_faulty, seq);
+    if (!rest_plan.has_value()) return std::nullopt;  // undecodable
+    result.rest_sequence = seq;
+  }
+  result.plan_seconds = total.seconds();
+
+  // Effective thread count: the paper's T <= min(4, cores), further capped
+  // at p to avoid idle workers.
+  unsigned t = options_.threads != 0
+                   ? options_.threads
+                   : std::min(4u, hardware_threads());
+  if (part.p() != 0) t = std::min<unsigned>(t, static_cast<unsigned>(part.p()));
+  if (t == 0) t = 1;
+  result.threads_used = t;
+
+  // Step 3 execution: decode the independent sub-matrices in parallel.
+  const Timer par_phase;
+  result.task_seconds.assign(group_plans.size(), 0.0);
+  std::vector<DecodeStats> task_stats(group_plans.size());
+  const auto run_task = [&](std::size_t i) {
+    const Timer tt;
+    group_plans[i].execute(blocks, block_bytes, &task_stats[i]);
+    result.task_seconds[i] = tt.seconds();
+  };
+  if (t <= 1 || group_plans.size() <= 1) {
+    for (std::size_t i = 0; i < group_plans.size(); ++i) run_task(i);
+  } else if (options_.pool != nullptr) {
+    TaskGroup group(*options_.pool);
+    for (std::size_t i = 0; i < group_plans.size(); ++i) {
+      group.add([&, i] { run_task(i); });
+    }
+    group.wait();
+  } else {
+    // Paper-faithful ephemeral threads with static round-robin assignment
+    // (Algorithm 1: sub-matrix i handled by thread i mod T).
+    std::vector<std::jthread> workers;
+    workers.reserve(t);
+    for (unsigned w = 0; w < t; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::size_t i = w; i < group_plans.size(); i += t) run_task(i);
+      });
+    }
+    workers.clear();  // join
+  }
+  result.parallel_seconds = par_phase.seconds();
+  for (const DecodeStats& st : task_stats) {
+    result.stats.mult_xors += st.mult_xors;
+    result.stats.bytes_touched += st.bytes_touched;
+    result.stats.blocks_read += st.blocks_read;
+  }
+
+  // Step 4 execution: the remaining sub-matrix, now that the independent
+  // faulty blocks hold recovered data.
+  const Timer rest_phase;
+  if (rest_plan.has_value()) {
+    rest_plan->execute(blocks, block_bytes, &result.stats);
+  }
+  result.rest_seconds = rest_phase.seconds();
+  result.seconds = total.seconds();
+  return result;
+}
+
+std::optional<PpmResult> PpmDecoder::encode(std::uint8_t* const* blocks,
+                                            std::size_t block_bytes) const {
+  return decode(FailureScenario::encoding_of(*code_), blocks, block_bytes);
+}
+
+}  // namespace ppm

@@ -1,0 +1,96 @@
+// The PPM decoder (paper §III): partition the parity-check matrix via the
+// log table, recover independent faulty blocks on T parallel threads with
+// the matrix-first sequence, then recover the dependent blocks from the
+// remaining sub-matrix with the cost-cheaper sequence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "decode/scenario.h"
+#include "decode/traditional_decoder.h"
+#include "parallel/thread_pool.h"
+
+namespace ppm {
+
+struct PpmOptions {
+  /// Worker threads T for the independent sub-matrices. 0 selects the
+  /// paper's default min(4, hardware cores); the effective count is further
+  /// capped at p (T <= p, §III-C).
+  unsigned threads = 0;
+
+  /// Sequence for the remaining sub-matrix H_rest. kAuto compares the exact
+  /// C3 vs C4 tail terms; kNormal reproduces the paper's Algorithm 1, which
+  /// always uses the normal sequence for H_rest (i.e. C4).
+  SequencePolicy rest_policy = SequencePolicy::kAuto;
+
+  /// Optional persistent pool. When null, the decoder spawns T ephemeral
+  /// threads per decode — the paper's execution model, whose thread-start
+  /// cost is part of what Fig. 9 measures against stripe size.
+  ThreadPool* pool = nullptr;
+};
+
+struct PpmResult {
+  DecodeStats stats;
+  std::size_t p = 0;                 ///< independent sub-matrices found
+  std::size_t dependent_blocks = 0;  ///< faulty blocks left to H_rest
+  unsigned threads_used = 1;         ///< effective T
+  Sequence rest_sequence = Sequence::kNormal;
+
+  bool rest_empty() const { return dependent_blocks == 0; }
+
+  double seconds = 0;           ///< measured wall time of the whole decode
+  double plan_seconds = 0;      ///< log table + partition + matrix planning
+  double parallel_seconds = 0;  ///< wall time of the group phase
+  double rest_seconds = 0;      ///< wall time of the H_rest phase
+  std::vector<double> task_seconds;  ///< per-group execution time
+
+  /// Modeled wall time on a machine with `lanes` truly concurrent cores
+  /// (0 → threads_used): planning + the makespan of the executed
+  /// round-robin schedule of the measured task times + the rest phase.
+  /// This is the substitution documented in DESIGN.md §3 for running the
+  /// paper's multi-core experiments on a single-core host: per-task work
+  /// is measured, only the physical concurrency is simulated.
+  double modeled_seconds(unsigned lanes = 0) const;
+
+  /// modeled_seconds with longest-processing-time-first assignment instead
+  /// of the executed round-robin order — the schedule a work-stealing pool
+  /// would approach (within 4/3 of optimal; typically at or below the
+  /// round-robin makespan).
+  double modeled_seconds_lpt(unsigned lanes = 0) const;
+
+  /// modeled_seconds plus the calibrated ephemeral-thread start/join cost
+  /// (lanes × ThreadPool::thread_spawn_seconds(), charged only when there
+  /// is a parallel phase). This is the knob behind the paper's Fig. 7
+  /// observation that m = 1 configurations peak at T = 2: with little
+  /// parallel work, extra threads cost more than their lanes save.
+  double modeled_seconds_with_overhead(unsigned lanes = 0) const;
+};
+
+class PpmDecoder {
+ public:
+  explicit PpmDecoder(const ErasureCode& code, PpmOptions options = {})
+      : code_(&code), options_(options) {}
+
+  /// Recover the scenario's faulty blocks in place; std::nullopt when the
+  /// scenario is undecodable.
+  std::optional<PpmResult> decode(const FailureScenario& scenario,
+                                  std::uint8_t* const* blocks,
+                                  std::size_t block_bytes) const;
+
+  /// Encoding = decoding with all parity blocks unknown. For SD codes the
+  /// per-row parity groups are independent, so encoding parallelizes the
+  /// same way decoding does.
+  std::optional<PpmResult> encode(std::uint8_t* const* blocks,
+                                  std::size_t block_bytes) const;
+
+  const PpmOptions& options() const { return options_; }
+
+ private:
+  const ErasureCode* code_;
+  PpmOptions options_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,40 @@
+#include "decode/scenario.h"
+
+#include <algorithm>
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+namespace {
+
+std::vector<std::size_t> normalized(std::vector<std::size_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+FailureScenario::FailureScenario(std::vector<std::size_t> faulty)
+    : faulty_(normalized(std::move(faulty))) {}
+
+FailureScenario::FailureScenario(std::initializer_list<std::size_t> faulty)
+    : FailureScenario(std::vector<std::size_t>(faulty)) {}
+
+bool FailureScenario::contains(std::size_t block) const {
+  return std::binary_search(faulty_.begin(), faulty_.end(), block);
+}
+
+std::size_t FailureScenario::index_of(std::size_t block) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(faulty_.begin(), faulty_.end(), block) -
+      faulty_.begin());
+}
+
+FailureScenario FailureScenario::encoding_of(const ErasureCode& code) {
+  const auto parity = code.parity_blocks();
+  return FailureScenario({parity.begin(), parity.end()});
+}
+
+}  // namespace ppm

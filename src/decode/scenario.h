@@ -1,0 +1,39 @@
+// Failure scenarios: which blocks of a stripe are lost.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ppm {
+
+class ErasureCode;
+
+/// A set of faulty block ids within one stripe, kept sorted and unique.
+class FailureScenario {
+ public:
+  FailureScenario() = default;
+  explicit FailureScenario(std::vector<std::size_t> faulty);
+  FailureScenario(std::initializer_list<std::size_t> faulty);
+
+  std::span<const std::size_t> faulty() const { return faulty_; }
+  std::size_t count() const { return faulty_.size(); }
+  bool empty() const { return faulty_.empty(); }
+  bool contains(std::size_t block) const;
+
+  /// Index of `block` within the sorted faulty list; precondition:
+  /// contains(block).
+  std::size_t index_of(std::size_t block) const;
+
+  /// The encoding "scenario": all parity blocks unknown (paper §II-B:
+  /// encoding is a special case of decoding).
+  static FailureScenario encoding_of(const ErasureCode& code);
+
+  bool operator==(const FailureScenario&) const = default;
+
+ private:
+  std::vector<std::size_t> faulty_;
+};
+
+}  // namespace ppm

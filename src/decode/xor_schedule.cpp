@@ -1,0 +1,116 @@
+#include "decode/xor_schedule.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gf/galois_field.h"
+
+namespace ppm {
+
+namespace {
+
+// Row of a binary matrix as a bitset over columns.
+using BitRow = std::vector<std::uint64_t>;
+
+BitRow row_bits(const Matrix& g, std::size_t row) {
+  BitRow bits((g.cols() + 63) / 64, 0);
+  for (std::size_t c = 0; c < g.cols(); ++c) {
+    if (g(row, c) != 0) bits[c / 64] |= std::uint64_t{1} << (c % 64);
+  }
+  return bits;
+}
+
+std::size_t popcount(const BitRow& bits) {
+  std::size_t n = 0;
+  for (const std::uint64_t w : bits) n += static_cast<std::size_t>(
+      __builtin_popcountll(w));
+  return n;
+}
+
+std::size_t diff_count(const BitRow& a, const BitRow& b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    n += static_cast<std::size_t>(__builtin_popcountll(a[i] ^ b[i]));
+  }
+  return n;
+}
+
+}  // namespace
+
+std::optional<XorSchedule> plan_xor_schedule(const Matrix& g) {
+  for (const gf::Element v : g.data()) {
+    if (v > 1) return std::nullopt;  // not a binary system
+  }
+  const std::size_t rows = g.rows();
+
+  std::vector<BitRow> bits;
+  bits.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) bits.push_back(row_bits(g, r));
+
+  XorSchedule schedule;
+  for (std::size_t r = 0; r < rows; ++r) schedule.naive_ops += popcount(bits[r]);
+
+  // Greedy target order: lightest rows first, so heavy rows have more
+  // potential bases available when their turn comes.
+  std::vector<std::size_t> order(rows);
+  for (std::size_t r = 0; r < rows; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return popcount(bits[a]) < popcount(bits[b]);
+  });
+
+  std::vector<std::size_t> computed;  // rows already emitted, in order
+  for (const std::size_t target : order) {
+    const std::size_t direct = popcount(bits[target]);
+    // Best base: previously computed row minimizing the difference.
+    std::optional<std::size_t> base;
+    std::size_t best = direct;  // cost without a base: `direct` ops
+    for (const std::size_t prior : computed) {
+      const std::size_t d = diff_count(bits[target], bits[prior]);
+      if (d + 1 < best) {  // copy base + d fix-ups
+        best = d + 1;
+        base = prior;
+      }
+    }
+    if (base.has_value()) {
+      schedule.ops.push_back({true, *base, target, true});
+      for (std::size_t c = 0; c < g.cols(); ++c) {
+        const bool in_t = g(target, c) != 0;
+        const bool in_b = g(*base, c) != 0;
+        if (in_t != in_b) schedule.ops.push_back({false, c, target, false});
+      }
+    } else {
+      bool first = true;
+      for (std::size_t c = 0; c < g.cols(); ++c) {
+        if (g(target, c) != 0) {
+          schedule.ops.push_back({false, c, target, first});
+          first = false;
+        }
+      }
+      if (first) {
+        // All-zero row: materialize a zero target with a self-overwrite
+        // marker handled by the executor.
+        schedule.ops.push_back({false, 0, target, true});
+        schedule.ops.push_back({false, 0, target, false});
+        schedule.naive_ops += 2;
+      }
+    }
+    computed.push_back(target);
+  }
+  return schedule;
+}
+
+void execute_xor_schedule(const XorSchedule& schedule,
+                          std::uint8_t* const* sources,
+                          std::uint8_t* const* targets, std::size_t bytes) {
+  for (const XorOp& op : schedule.ops) {
+    const std::uint8_t* src =
+        op.from_output ? targets[op.source] : sources[op.source];
+    if (op.overwrite) {
+      std::memcpy(targets[op.target], src, bytes);
+    } else {
+      gf::xor_region(targets[op.target], src, bytes);
+    }
+  }
+}
+
+}  // namespace ppm

@@ -1,0 +1,54 @@
+// XOR scheduling with incremental (difference-based) targets.
+//
+// For binary decoding matrices — CRS bit matrices, EVENODD/RDP, any
+// XOR-only code — the naive schedule issues one XOR per nonzero of G. A
+// classic optimization (the bit-matrix scheduling family the paper's
+// related work touches via [41]) computes some targets *incrementally*:
+// if row j of G differs from an already-computed row i in d positions and
+// d + 1 < |row j|, then target j = target i ⊕ (the d differing sources),
+// saving |row j| − d − 1 operations. This planner greedily picks, for each
+// target, the best previously-computed base row (or none).
+//
+// The schedule is exact for any matrix over GF(2^w) whose entries are 0/1;
+// plan_xor_schedule() rejects non-binary matrices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+struct XorOp {
+  bool from_output = false;  ///< source is a previously computed target
+  std::size_t source = 0;    ///< survivor column index, or target index
+  std::size_t target = 0;    ///< output row index
+  bool overwrite = false;    ///< first op on the target (copy, not XOR)
+};
+
+struct XorSchedule {
+  std::vector<XorOp> ops;
+  std::size_t naive_ops = 0;  ///< u(G): what the direct schedule would cost
+
+  std::size_t cost() const { return ops.size(); }
+  double saving() const {
+    return naive_ops == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(cost()) /
+                           static_cast<double>(naive_ops);
+  }
+};
+
+/// Build an incremental XOR schedule for binary matrix `g` (targets =
+/// rows, sources = columns). std::nullopt if any entry exceeds 1.
+std::optional<XorSchedule> plan_xor_schedule(const Matrix& g);
+
+/// Execute: `targets[r]` = XOR of sources per schedule; `sources[c]` are
+/// the survivor regions. Regions are `bytes` long.
+void execute_xor_schedule(const XorSchedule& schedule,
+                          std::uint8_t* const* sources,
+                          std::uint8_t* const* targets, std::size_t bytes);
+
+}  // namespace ppm

@@ -1,0 +1,24 @@
+// Internal wiring between the field singletons and the registry.
+#pragma once
+
+#include "gf/galois_field.h"
+
+namespace ppm::gf::internal {
+
+// Standard primitive polynomials (same choices as classic erasure-coding
+// libraries): x^8+x^4+x^3+x^2+1, x^16+x^12+x^3+x+1, x^32+x^22+x^2+x+1.
+inline constexpr std::uint32_t kPoly8 = 0x11D;
+inline constexpr std::uint32_t kPoly16 = 0x1100B;
+inline constexpr std::uint64_t kPoly32 = 0x100400007ULL;
+
+const Field& gf8_instance();
+const Field& gf16_instance();
+const Field& gf32_instance();
+
+#if defined(__x86_64__) || defined(__i386__)
+/// PCLMULQDQ multiply over GF(2^32); only call when the CPU supports the
+/// instruction (gf32.cpp checks once at startup).
+Element gf32_mul_clmul(Element a, Element b);
+#endif
+
+}  // namespace ppm::gf::internal

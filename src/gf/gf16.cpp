@@ -1,0 +1,54 @@
+// GF(2^16) over the primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B),
+// implemented with log/antilog tables (alpha = 2 is primitive). The tables
+// occupy ~384 KB and are built once at first use.
+#include <cstdint>
+#include <vector>
+
+#include "gf/fields_internal.h"
+#include "gf/galois_field.h"
+
+namespace ppm::gf {
+namespace {
+
+constexpr unsigned kOrder = 65535;  // multiplicative group order 2^16 - 1
+
+class Gf16 final : public Field {
+ public:
+  Gf16() : exp_(2 * kOrder), log_(65536) {
+    Element x = 1;
+    for (unsigned i = 0; i < kOrder; ++i) {
+      exp_[i] = x;
+      log_[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= internal::kPoly16;
+    }
+    for (unsigned i = kOrder; i < 2 * kOrder; ++i) exp_[i] = exp_[i - kOrder];
+    log_[0] = 0;  // never read on valid inputs
+  }
+
+  unsigned w() const override { return 16; }
+
+  Element mul(Element a, Element b) const override {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<std::uint32_t>(log_[a]) + log_[b]];
+  }
+
+  Element inv(Element a) const override { return exp_[kOrder - log_[a]]; }
+
+  Element exp2(std::uint64_t e) const override { return exp_[e % kOrder]; }
+
+ private:
+  std::vector<Element> exp_;
+  std::vector<std::uint16_t> log_;
+};
+
+}  // namespace
+
+namespace internal {
+const Field& gf16_instance() {
+  static const Gf16 instance;
+  return instance;
+}
+}  // namespace internal
+
+}  // namespace ppm::gf

@@ -1,0 +1,54 @@
+// GF(2^8) over the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+// implemented with log/antilog tables (alpha = 2 is primitive).
+#include <array>
+#include <cstdint>
+
+#include "gf/fields_internal.h"
+#include "gf/galois_field.h"
+
+namespace ppm::gf {
+namespace {
+
+constexpr unsigned kOrder = 255;  // multiplicative group order 2^8 - 1
+
+class Gf8 final : public Field {
+ public:
+  Gf8() {
+    Element x = 1;
+    for (unsigned i = 0; i < kOrder; ++i) {
+      exp_[i] = x;
+      log_[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= internal::kPoly8;
+    }
+    // Double the antilog table so mul() can index log(a)+log(b) directly.
+    for (unsigned i = kOrder; i < 2 * kOrder; ++i) exp_[i] = exp_[i - kOrder];
+    log_[0] = 0;  // never read on valid inputs; keeps the table defined
+  }
+
+  unsigned w() const override { return 8; }
+
+  Element mul(Element a, Element b) const override {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  Element inv(Element a) const override { return exp_[kOrder - log_[a]]; }
+
+  Element exp2(std::uint64_t e) const override { return exp_[e % kOrder]; }
+
+ private:
+  std::array<Element, 2 * kOrder> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+};
+
+}  // namespace
+
+namespace internal {
+const Field& gf8_instance() {
+  static const Gf8 instance;
+  return instance;
+}
+}  // namespace internal
+
+}  // namespace ppm::gf

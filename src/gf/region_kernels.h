@@ -1,0 +1,76 @@
+// Internal declarations of the per-ISA region kernels.
+//
+// Every kernel implements dst (^)= c * src symbol-wise, where the constant
+// is pre-expanded into nibble split tables: split[16*k + v] = c * (v << 4k).
+// The SSSE3/AVX2 translation units are compiled with the matching -m flags;
+// callers must only invoke them when common/cpu.h reports support.
+#pragma once
+
+#include "gf/galois_field.h"
+
+namespace ppm::gf::internal {
+
+// ----- scalar (always available) -----
+void mult_xor_scalar_w8(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_xor_scalar_w16(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_xor_scalar_w32(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_over_scalar_w8(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_over_scalar_w16(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t bytes, const Element* split);
+void mult_over_scalar_w32(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t bytes, const Element* split);
+void xor_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes);
+
+#if defined(__x86_64__) || defined(__i386__)
+// ----- SSSE3 -----
+void mult_xor_ssse3_w8(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t bytes, const Element* split);
+void mult_xor_ssse3_w16(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_xor_ssse3_w32(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_over_ssse3_w8(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_over_ssse3_w16(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_over_ssse3_w32(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void xor_sse2(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes);
+
+// ----- AVX2 -----
+void mult_xor_avx2_w8(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t bytes, const Element* split);
+void mult_xor_avx2_w16(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t bytes, const Element* split);
+void mult_xor_avx2_w32(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t bytes, const Element* split);
+void mult_over_avx2_w8(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t bytes, const Element* split);
+void mult_over_avx2_w16(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_over_avx2_w32(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void xor_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes);
+
+// ----- AVX-512BW -----
+void mult_xor_avx512_w8(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t bytes, const Element* split);
+void mult_xor_avx512_w16(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_xor_avx512_w32(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_over_avx512_w8(std::uint8_t* dst, const std::uint8_t* src,
+                         std::size_t bytes, const Element* split);
+void mult_over_avx512_w16(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t bytes, const Element* split);
+void mult_over_avx512_w32(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t bytes, const Element* split);
+void xor_avx512(std::uint8_t* dst, const std::uint8_t* src,
+                std::size_t bytes);
+#endif
+
+}  // namespace ppm::gf::internal

@@ -1,0 +1,150 @@
+#include "matrix/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ppm {
+
+Matrix::Matrix(const gf::Field& f, std::size_t rows, std::size_t cols)
+    : field_(&f), rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix::Matrix(const gf::Field& f, std::size_t rows, std::size_t cols,
+               std::initializer_list<gf::Element> values)
+    : Matrix(f, rows, cols) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("initializer size does not match dimensions");
+  }
+  std::size_t i = 0;
+  for (const gf::Element v : values) data_[i++] = v;
+}
+
+Matrix Matrix::identity(const gf::Field& f, std::size_t n) {
+  Matrix m(f, n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(field_ == rhs.field_);
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("matrix product dimension mismatch");
+  }
+  Matrix out(*field_, rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const gf::Element a = (*this)(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        const gf::Element b = rhs(k, j);
+        if (b != 0) out(i, j) ^= field_->mul(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+bool Matrix::operator==(const Matrix& rhs) const {
+  return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+}
+
+std::size_t Matrix::nonzeros() const {
+  std::size_t n = 0;
+  for (const gf::Element v : data_) n += (v != 0);
+  return n;
+}
+
+bool Matrix::column_is_zero(std::size_t c) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if ((*this)(r, c) != 0) return false;
+  }
+  return true;
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> cols) const {
+  Matrix out(*field_, rows_, cols.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out(r, j) = (*this)(r, cols[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> rows) const {
+  Matrix out(*field_, rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(i, c) = (*this)(rows[i], c);
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("inverse of non-square matrix");
+  }
+  const std::size_t n = rows_;
+  Matrix a(*this);
+  Matrix inv = identity(*field_, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && a(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(col, j), a(pivot, j));
+        std::swap(inv(col, j), inv(pivot, j));
+      }
+    }
+    // Normalize the pivot row.
+    const gf::Element scale = field_->inv(a(col, col));
+    if (scale != 1) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a(col, j) = field_->mul(a(col, j), scale);
+        inv(col, j) = field_->mul(inv(col, j), scale);
+      }
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const gf::Element factor = a(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a(r, j) ^= field_->mul(factor, a(col, j));
+        inv(r, j) ^= field_->mul(factor, inv(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix a(*this);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t j = 0; j < cols_; ++j) std::swap(a(rank, j), a(pivot, j));
+    }
+    const gf::Element scale = field_->inv(a(rank, col));
+    for (std::size_t j = col; j < cols_; ++j) {
+      a(rank, j) = field_->mul(a(rank, j), scale);
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const gf::Element factor = a(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = col; j < cols_; ++j) {
+        a(r, j) ^= field_->mul(factor, a(rank, j));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace ppm

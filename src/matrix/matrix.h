@@ -1,0 +1,77 @@
+// Dense matrices over GF(2^w).
+//
+// These matrices are the *planning* data structures of the decoder: the
+// parity-check matrix H, its column splits F and S, inverses and products.
+// They are tiny (at most a few hundred rows/columns), so clarity wins over
+// micro-optimization here; all the heavy lifting happens in the GF region
+// kernels that the resulting plans drive.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/galois_field.h"
+
+namespace ppm {
+
+class Matrix {
+ public:
+  /// rows × cols zero matrix over `f`.
+  Matrix(const gf::Field& f, std::size_t rows, std::size_t cols);
+
+  /// Construct from row-major initializer data (used heavily in tests).
+  Matrix(const gf::Field& f, std::size_t rows, std::size_t cols,
+         std::initializer_list<gf::Element> values);
+
+  /// n × n identity.
+  static Matrix identity(const gf::Field& f, std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const gf::Field& field() const { return *field_; }
+
+  gf::Element operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  gf::Element& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  /// Row-major element storage (exposed for the census helpers).
+  std::span<const gf::Element> data() const { return data_; }
+
+  /// Matrix product; requires cols() == rhs.rows() and same field.
+  Matrix operator*(const Matrix& rhs) const;
+
+  bool operator==(const Matrix& rhs) const;
+
+  /// Number of nonzero coefficients — the paper's u(M). One nonzero equals
+  /// one mult_XOR when the matrix is applied to block regions.
+  std::size_t nonzeros() const;
+
+  /// True iff every element of column c is zero.
+  bool column_is_zero(std::size_t c) const;
+
+  /// New matrix formed from the given columns, in the given order.
+  Matrix select_columns(std::span<const std::size_t> cols) const;
+
+  /// New matrix formed from the given rows, in the given order.
+  Matrix select_rows(std::span<const std::size_t> rows) const;
+
+  /// Gauss–Jordan inverse; std::nullopt when singular. Requires square.
+  std::optional<Matrix> inverse() const;
+
+  /// Rank via Gaussian elimination (non-destructive).
+  std::size_t rank() const;
+
+ private:
+  const gf::Field* field_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<gf::Element> data_;
+};
+
+}  // namespace ppm

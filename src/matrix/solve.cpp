@@ -1,0 +1,51 @@
+#include "matrix/solve.h"
+
+#include <algorithm>
+
+namespace ppm {
+
+std::optional<std::vector<std::size_t>> independent_rows(const Matrix& f) {
+  const std::size_t rows = f.rows();
+  const std::size_t cols = f.cols();
+  if (rows < cols) return std::nullopt;
+
+  // Greedy Gaussian elimination over a working copy, remembering which
+  // original row supplied each pivot. Earlier rows are preferred, so for a
+  // square invertible F this returns 0..cols-1.
+  Matrix work(f);
+  std::vector<std::size_t> origin(rows);
+  for (std::size_t i = 0; i < rows; ++i) origin[i] = i;
+
+  std::vector<std::size_t> selected;
+  selected.reserve(cols);
+  const gf::Field& gf = f.field();
+  std::size_t next = 0;  // next working row to place a pivot in
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t pivot = next;
+    while (pivot < rows && work(pivot, col) == 0) ++pivot;
+    if (pivot == rows) return std::nullopt;  // rank deficient
+    if (pivot != next) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        std::swap(work(next, j), work(pivot, j));
+      }
+      std::swap(origin[next], origin[pivot]);
+    }
+    selected.push_back(origin[next]);
+    const gf::Element scale = gf.inv(work(next, col));
+    for (std::size_t j = col; j < cols; ++j) {
+      work(next, j) = gf.mul(work(next, j), scale);
+    }
+    for (std::size_t r = next + 1; r < rows; ++r) {
+      const gf::Element factor = work(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = col; j < cols; ++j) {
+        work(r, j) ^= gf.mul(factor, work(next, j));
+      }
+    }
+    ++next;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace ppm

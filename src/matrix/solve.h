@@ -1,0 +1,21 @@
+// Row selection for (possibly over-determined) decoding systems.
+//
+// The parity-check method solves F · BF = S · BS. When fewer blocks failed
+// than the code's full tolerance, F is tall (more check rows than unknowns);
+// the decoder then uses any row subset whose square restriction of F is
+// invertible. With the paper's worst-case scenarios F is square and the
+// selection is the identity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace ppm {
+
+/// Find `f.cols()` row indices of `f` (ascending) whose square submatrix is
+/// invertible; std::nullopt when rank(f) < f.cols() (undecodable scenario).
+std::optional<std::vector<std::size_t>> independent_rows(const Matrix& f);
+
+}  // namespace ppm

@@ -1,0 +1,27 @@
+#include "parallel/task_group.h"
+
+#include <utility>
+
+namespace ppm {
+
+void TaskGroup::add(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --pending_;
+    }
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace ppm

@@ -1,0 +1,34 @@
+// Fork-join helper: run a batch of tasks and wait for all of them.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "parallel/thread_pool.h"
+
+namespace ppm {
+
+/// Tracks a set of tasks submitted to a ThreadPool; wait() blocks until
+/// every task added so far has completed. Tasks must not throw.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// ~TaskGroup waits for outstanding tasks (they capture `this`).
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void add(std::function<void()> task);
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace ppm

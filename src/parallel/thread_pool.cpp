@@ -1,0 +1,74 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/cpu.h"
+
+namespace ppm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+double ThreadPool::thread_spawn_seconds() {
+  static const double cost = [] {
+    std::array<double, 7> samples{};
+    for (double& s : samples) {
+      const auto start = std::chrono::steady_clock::now();
+      std::thread t([] {});
+      t.join();
+      s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  }();
+  return cost;
+}
+
+}  // namespace ppm

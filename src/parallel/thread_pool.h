@@ -1,0 +1,51 @@
+// Fixed-size worker pool.
+//
+// The PPM decoder supports two execution styles: paper-faithful ephemeral
+// threads spawned per decode (the thread-creation overhead the paper
+// measures in §III-C), or a persistent pool passed via PpmOptions for
+// library use where that overhead is amortized away.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppm {
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers (>= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution by any worker.
+  void submit(std::function<void()> task);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide pool sized to the hardware thread count.
+  static ThreadPool& shared();
+
+  /// Calibrated cost of spawning + joining one ephemeral std::thread on
+  /// this host (median of several measurements, cached after the first
+  /// call). Feeds the overhead-aware modeled-parallel clock
+  /// (PpmResult::modeled_seconds_with_overhead).
+  static double thread_spawn_seconds();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace ppm

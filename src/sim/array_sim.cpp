@@ -1,0 +1,186 @@
+#include "sim/array_sim.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "decode/ppm_decoder.h"
+#include "decode/traditional_decoder.h"
+#include "workload/stripe.h"
+
+namespace ppm {
+
+namespace {
+
+enum class EventKind { kDiskFail, kDiskRepaired, kScrub, kEnd };
+
+struct Event {
+  double time = 0;
+  EventKind kind = EventKind::kEnd;
+  std::size_t disk = 0;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+ArraySimulator::ArraySimulator(const ErasureCode& code, SimParams params)
+    : code_(&code), params_(params) {
+  if (params_.hours <= 0 || params_.disk_mtbf_hours <= 0 ||
+      params_.repair_hours <= 0 || params_.stripes == 0) {
+    throw std::invalid_argument("ArraySimulator: invalid parameters");
+  }
+}
+
+SimResult ArraySimulator::run(RepairPolicy policy) const {
+  const std::size_t n = code_->disks();
+  const std::size_t r = code_->rows();
+  Rng rng(params_.seed);
+  SimResult result;
+
+  // One real stripe stands in for the group.
+  Stripe stripe(*code_, params_.block_bytes);
+  {
+    Rng fill(params_.seed ^ 0xF111);
+    stripe.fill_data(fill);
+    const TraditionalDecoder enc(*code_);
+    if (!enc.encode(stripe.block_ptrs(), params_.block_bytes)) {
+      throw std::runtime_error("ArraySimulator: encode failed");
+    }
+  }
+  const auto golden = stripe.snapshot();
+  const TraditionalDecoder trad(*code_);
+  PpmOptions popts;
+  popts.threads = params_.threads;
+  const PpmDecoder ppm_dec(*code_, popts);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  // Seed each disk's first failure.
+  for (std::size_t d = 0; d < n; ++d) {
+    queue.push({rng.exponential(1.0 / params_.disk_mtbf_hours),
+                EventKind::kDiskFail, d});
+  }
+  for (double t = params_.scrub_interval_hours; t < params_.hours;
+       t += params_.scrub_interval_hours) {
+    queue.push({t, EventKind::kScrub, 0});
+  }
+  queue.push({params_.hours, EventKind::kEnd, 0});
+
+  std::set<std::size_t> failed_disks;          // currently failed
+  std::set<std::size_t> latent_sectors;        // block ids, undiscovered
+  double last_sector_scan = 0;                 // sector-error generation
+
+  // Draw the latent sector errors that accumulated on live disks over
+  // (from, to] and attach them to random live blocks.
+  const auto accrue_sectors = [&](double from, double to) {
+    const double live =
+        static_cast<double>(n - failed_disks.size()) * (to - from);
+    const double expected = live * params_.sector_errors_per_disk_hour;
+    // Poisson draw via exponential gaps.
+    double acc = rng.exponential(1.0);
+    while (acc < expected) {
+      // Uniform live cell.
+      for (int tries = 0; tries < 64; ++tries) {
+        const std::size_t d = rng.bounded(n);
+        if (failed_disks.contains(d)) continue;
+        latent_sectors.insert(code_->block_id(rng.bounded(r), d));
+        ++result.sector_errors;
+        break;
+      }
+      acc += rng.exponential(1.0);
+    }
+  };
+
+  // Execute one repair round for the current failure set.
+  const auto repair = [&](double now) {
+    accrue_sectors(last_sector_scan, now);
+    last_sector_scan = now;
+    std::vector<std::size_t> faulty;
+    for (const std::size_t d : failed_disks) {
+      for (std::size_t i = 0; i < r; ++i) {
+        faulty.push_back(code_->block_id(i, d));
+      }
+    }
+    for (const std::size_t b : latent_sectors) {
+      // A latent sector on a failed disk is subsumed by the disk failure.
+      if (!failed_disks.contains(b % n)) faulty.push_back(b);
+    }
+    latent_sectors.clear();
+    if (faulty.empty()) return;
+    const FailureScenario sc(faulty);
+    stripe.erase(sc);
+    ++result.repair_events;
+
+    if (policy == RepairPolicy::kTraditional) {
+      const auto res = trad.decode(sc, stripe.block_ptrs(),
+                                   params_.block_bytes,
+                                   SequencePolicy::kNormal);
+      if (!res.has_value()) {
+        ++result.data_loss_events;
+        std::memcpy(stripe.block(0), golden.data(), golden.size());
+        return;
+      }
+      result.compute.mult_xors += res->stats.mult_xors * params_.stripes;
+      result.compute.bytes_touched +=
+          res->stats.bytes_touched * params_.stripes;
+      result.compute.blocks_read += res->stats.blocks_read * params_.stripes;
+      result.decode_seconds +=
+          res->seconds * static_cast<double>(params_.stripes);
+    } else {
+      const auto res =
+          ppm_dec.decode(sc, stripe.block_ptrs(), params_.block_bytes);
+      if (!res.has_value()) {
+        ++result.data_loss_events;
+        std::memcpy(stripe.block(0), golden.data(), golden.size());
+        return;
+      }
+      result.compute.mult_xors += res->stats.mult_xors * params_.stripes;
+      result.compute.bytes_touched +=
+          res->stats.bytes_touched * params_.stripes;
+      result.compute.blocks_read += res->stats.blocks_read * params_.stripes;
+      result.decode_seconds += res->modeled_seconds(params_.threads) *
+                               static_cast<double>(params_.stripes);
+    }
+  };
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time > params_.hours || ev.kind == EventKind::kEnd) break;
+    switch (ev.kind) {
+      case EventKind::kDiskFail: {
+        if (failed_disks.contains(ev.disk)) break;  // already down
+        accrue_sectors(last_sector_scan, ev.time);
+        last_sector_scan = ev.time;
+        failed_disks.insert(ev.disk);
+        ++result.disk_failures;
+        result.max_concurrent_disks =
+            std::max(result.max_concurrent_disks, failed_disks.size());
+        queue.push({ev.time + params_.repair_hours, EventKind::kDiskRepaired,
+                    ev.disk});
+        break;
+      }
+      case EventKind::kDiskRepaired: {
+        // The rebuild decodes everything currently broken.
+        repair(ev.time);
+        failed_disks.erase(ev.disk);
+        // The disk rejoins; schedule its next failure.
+        queue.push({ev.time + rng.exponential(1.0 / params_.disk_mtbf_hours),
+                    EventKind::kDiskFail, ev.disk});
+        break;
+      }
+      case EventKind::kScrub:
+        repair(ev.time);
+        break;
+      case EventKind::kEnd:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ppm

@@ -1,0 +1,142 @@
+#include "workload/scenario_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ppm {
+
+namespace {
+
+// Draw `count` distinct values in [0, bound).
+std::vector<std::size_t> distinct(Rng& rng, std::size_t count,
+                                  std::size_t bound) {
+  std::set<std::size_t> out;
+  while (out.size() < count) out.insert(rng.bounded(bound));
+  return {out.begin(), out.end()};
+}
+
+}  // namespace
+
+bool ScenarioGenerator::decodable(const ErasureCode& code,
+                                  const FailureScenario& sc) const {
+  const Matrix f = code.parity_check().select_columns(sc.faulty());
+  return f.rank() == f.cols();
+}
+
+GeneratedScenario ScenarioGenerator::sd_worst_case(const ErasureCode& code,
+                                                   std::size_t m,
+                                                   std::size_t s,
+                                                   std::size_t z) {
+  const std::size_t n = code.disks();
+  const std::size_t r = code.rows();
+  if (z > std::min(s, r) || (s > 0 && z == 0) || s > z * (n - m) ||
+      m >= n) {
+    throw std::invalid_argument("sd_worst_case: invalid (m, s, z)");
+  }
+
+  GeneratedScenario out;
+  for (;;) {
+    const auto disks = distinct(rng_, m, n);
+    const auto rows = distinct(rng_, z, r);
+
+    std::set<std::size_t> blocks;
+    for (const std::size_t d : disks) {
+      for (std::size_t i = 0; i < r; ++i) blocks.insert(i * n + d);
+    }
+    const auto on_failed_disk = [&](std::size_t d) {
+      return std::binary_search(disks.begin(), disks.end(), d);
+    };
+    // One sector in each chosen row first (so exactly z rows are hit),
+    // then the remainder anywhere within those rows.
+    std::size_t placed = 0;
+    for (const std::size_t row : rows) {
+      for (;;) {
+        const std::size_t d = rng_.bounded(n);
+        if (on_failed_disk(d)) continue;
+        if (blocks.insert(row * n + d).second) {
+          ++placed;
+          break;
+        }
+      }
+    }
+    while (placed < s) {
+      const std::size_t row = rows[rng_.bounded(z)];
+      const std::size_t d = rng_.bounded(n);
+      if (on_failed_disk(d)) continue;
+      if (blocks.insert(row * n + d).second) ++placed;
+    }
+
+    out.scenario = FailureScenario({blocks.begin(), blocks.end()});
+    if (decodable(code, out.scenario)) return out;
+    ++out.redraws;
+  }
+}
+
+GeneratedScenario ScenarioGenerator::lrc_failures(const LRCCode& code,
+                                                  std::size_t local_groups,
+                                                  std::size_t extra) {
+  if (local_groups > code.l() ||
+      local_groups + extra > code.l() + code.g()) {
+    throw std::invalid_argument("lrc_failures: too many failures");
+  }
+  GeneratedScenario out;
+  for (;;) {
+    std::set<std::size_t> blocks;
+    // One faulty strip per chosen local group: a data strip of the group or
+    // the group's local parity — either way its local equation has t = 1.
+    const auto groups = distinct(rng_, local_groups, code.l());
+    for (const std::size_t grp : groups) {
+      const auto members = code.group_members(grp);
+      const std::size_t pick = rng_.bounded(members.size() + 1);
+      blocks.insert(pick == members.size() ? code.local_parity_block(grp)
+                                           : members[pick]);
+    }
+    // Extra failures anywhere else in the stripe (they force the global
+    // equations into H_rest).
+    while (blocks.size() < local_groups + extra) {
+      blocks.insert(rng_.bounded(code.total_blocks()));
+    }
+    out.scenario = FailureScenario({blocks.begin(), blocks.end()});
+    if (decodable(code, out.scenario)) return out;
+    ++out.redraws;
+  }
+}
+
+GeneratedScenario ScenarioGenerator::disk_failures(const ErasureCode& code,
+                                                   std::size_t count,
+                                                   std::size_t max_redraws) {
+  if (count > code.disks()) {
+    throw std::invalid_argument("disk_failures: more disks than exist");
+  }
+  GeneratedScenario out;
+  for (;;) {
+    const auto disks = distinct(rng_, count, code.disks());
+    std::vector<std::size_t> blocks;
+    for (const std::size_t d : disks) {
+      for (std::size_t i = 0; i < code.rows(); ++i) {
+        blocks.push_back(code.block_id(i, d));
+      }
+    }
+    out.scenario = FailureScenario(std::move(blocks));
+    if (decodable(code, out.scenario)) return out;
+    if (++out.redraws > max_redraws) {
+      throw std::runtime_error(
+          "disk_failures: no decodable pattern found (beyond tolerance?)");
+    }
+  }
+}
+
+GeneratedScenario ScenarioGenerator::rs_failures(const RSCode& code,
+                                                 std::size_t f) {
+  if (f > code.m()) {
+    throw std::invalid_argument("rs_failures: more failures than parities");
+  }
+  GeneratedScenario out;
+  const auto blocks = distinct(rng_, f, code.total_blocks());
+  out.scenario = FailureScenario(blocks);
+  // Cauchy-based RS is MDS: any f <= m failures are decodable.
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,61 @@
+// Paper-faithful failure-scenario generation (§IV).
+//
+// SD/PMDS: the worst case — m whole faulty disks (uniform over disks) plus
+// s additional faulty sectors drawn among the surviving disks' sectors,
+// confined to z rows. LRC: one faulty strip in each of `local_groups`
+// distinct local groups (the independent, locally-repairable part) plus
+// `extra` additional strip failures that exercise the global parities.
+// RS: f uniformly random strips.
+//
+// Every generator retries until the scenario is decodable under the given
+// code (rank(F) = |faults|) and reports how many redraws that took, so
+// coefficient-induced singular corner cases are visible instead of silent.
+#pragma once
+
+#include <cstddef>
+
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+#include "codes/sd_code.h"
+#include "common/rng.h"
+#include "decode/scenario.h"
+
+namespace ppm {
+
+struct GeneratedScenario {
+  FailureScenario scenario;
+  std::size_t redraws = 0;  ///< undecodable draws discarded before this one
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Worst-case SD/PMDS scenario: m disks + s sectors in z rows.
+  /// Preconditions: z <= min(s, r), s <= z * (n - m).
+  GeneratedScenario sd_worst_case(const ErasureCode& code, std::size_t m,
+                                  std::size_t s, std::size_t z);
+
+  /// LRC scenario: one strip per chosen local group + extra failures.
+  /// Preconditions: local_groups <= l, local_groups + extra <= l + g.
+  GeneratedScenario lrc_failures(const LRCCode& code,
+                                 std::size_t local_groups, std::size_t extra);
+
+  /// RS scenario: f random strips (f <= m for decodability).
+  GeneratedScenario rs_failures(const RSCode& code, std::size_t f);
+
+  /// Generic whole-disk failures for any code: `count` random distinct
+  /// disks, every block on them faulty; redraws until decodable (throws
+  /// after `max_redraws` draws for patterns the code cannot tolerate).
+  GeneratedScenario disk_failures(const ErasureCode& code, std::size_t count,
+                                  std::size_t max_redraws = 64);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  bool decodable(const ErasureCode& code, const FailureScenario& sc) const;
+
+  Rng rng_;
+};
+
+}  // namespace ppm

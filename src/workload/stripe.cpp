@@ -1,0 +1,60 @@
+#include "workload/stripe.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ppm {
+
+Stripe::Stripe(const ErasureCode& code, std::size_t block_bytes)
+    : code_(&code),
+      block_bytes_(block_bytes),
+      storage_(block_bytes * code.total_blocks()),
+      ptrs_(code.total_blocks()) {
+  if (block_bytes == 0 || block_bytes % code.field().symbol_bytes() != 0) {
+    throw std::invalid_argument(
+        "block size must be a positive multiple of the symbol size");
+  }
+  for (std::size_t b = 0; b < ptrs_.size(); ++b) {
+    ptrs_[b] = storage_.data() + b * block_bytes_;
+  }
+}
+
+void Stripe::fill_data(Rng& rng) {
+  for (std::size_t b = 0; b < ptrs_.size(); ++b) {
+    if (code_->is_parity(b)) {
+      std::memset(ptrs_[b], 0, block_bytes_);
+    } else {
+      rng.fill(ptrs_[b], block_bytes_);
+    }
+  }
+}
+
+void Stripe::erase(const FailureScenario& scenario) {
+  for (const std::size_t b : scenario.faulty()) {
+    std::memset(ptrs_[b], 0xDB, block_bytes_);  // poison, not zero
+  }
+}
+
+std::vector<std::uint8_t> Stripe::snapshot() const {
+  std::vector<std::uint8_t> out(stripe_bytes());
+  std::memcpy(out.data(), storage_.data(), out.size());
+  return out;
+}
+
+bool Stripe::blocks_equal(const std::vector<std::uint8_t>& snap,
+                          std::span<const std::size_t> blocks) const {
+  for (const std::size_t b : blocks) {
+    if (std::memcmp(snap.data() + b * block_bytes_, ptrs_[b], block_bytes_) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Stripe::equals(const std::vector<std::uint8_t>& snap) const {
+  return snap.size() == stripe_bytes() &&
+         std::memcmp(snap.data(), storage_.data(), snap.size()) == 0;
+}
+
+}  // namespace ppm

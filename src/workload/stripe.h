@@ -1,0 +1,56 @@
+// Stripe buffers: one contiguous aligned allocation per stripe, one region
+// per block, plus fill / erase / verify helpers used by tests, examples and
+// the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/erasure_code.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "decode/scenario.h"
+
+namespace ppm {
+
+class Stripe {
+ public:
+  /// Allocate storage for every block of `code`, `block_bytes` bytes each
+  /// (must be a multiple of the code's symbol size).
+  Stripe(const ErasureCode& code, std::size_t block_bytes);
+
+  const ErasureCode& code() const { return *code_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+  std::size_t stripe_bytes() const { return block_bytes_ * ptrs_.size(); }
+
+  std::uint8_t* block(std::size_t id) { return ptrs_[id]; }
+  const std::uint8_t* block(std::size_t id) const { return ptrs_[id]; }
+
+  /// Block-pointer table in block-id order — the form the decoders take.
+  std::uint8_t* const* block_ptrs() { return ptrs_.data(); }
+
+  /// Fill the data blocks with pseudo-random bytes and zero the parities.
+  void fill_data(Rng& rng);
+
+  /// Overwrite the scenario's blocks with a poison pattern, simulating
+  /// their loss (decoders must not read them before writing).
+  void erase(const FailureScenario& scenario);
+
+  /// Snapshot the whole stripe (for byte-exact post-decode comparison).
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Compare the listed blocks against a snapshot taken earlier.
+  bool blocks_equal(const std::vector<std::uint8_t>& snap,
+                    std::span<const std::size_t> blocks) const;
+
+  /// Compare the full stripe against a snapshot.
+  bool equals(const std::vector<std::uint8_t>& snap) const;
+
+ private:
+  const ErasureCode* code_;
+  std::size_t block_bytes_;
+  AlignedBuffer storage_;
+  std::vector<std::uint8_t*> ptrs_;
+};
+
+}  // namespace ppm

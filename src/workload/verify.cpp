@@ -1,0 +1,78 @@
+#include "workload/verify.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+
+namespace ppm {
+
+namespace {
+
+// Compute the syndrome of one check row into `syndrome`.
+void row_syndrome(const ErasureCode& code, std::size_t row,
+                  std::uint8_t* const* blocks, std::size_t block_bytes,
+                  std::uint8_t* syndrome) {
+  const Matrix& h = code.parity_check();
+  const gf::Field& f = code.field();
+  bool first = true;
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    const gf::Element c = h(row, b);
+    if (c == 0) continue;
+    if (first) {
+      f.mult_region(syndrome, blocks[b], c, block_bytes);
+      first = false;
+    } else {
+      f.mult_region_xor(syndrome, blocks[b], c, block_bytes);
+    }
+  }
+  if (first) std::memset(syndrome, 0, block_bytes);
+}
+
+bool all_zero(const std::uint8_t* p, std::size_t n) {
+  return std::all_of(p, p + n, [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+bool stripe_consistent(const ErasureCode& code, std::uint8_t* const* blocks,
+                       std::size_t block_bytes) {
+  AlignedBuffer syndrome(block_bytes);
+  for (std::size_t row = 0; row < code.check_rows(); ++row) {
+    row_syndrome(code, row, blocks, block_bytes, syndrome.data());
+    if (!all_zero(syndrome.data(), block_bytes)) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> violated_checks(const ErasureCode& code,
+                                         std::uint8_t* const* blocks,
+                                         std::size_t block_bytes) {
+  std::vector<std::size_t> out;
+  AlignedBuffer syndrome(block_bytes);
+  for (std::size_t row = 0; row < code.check_rows(); ++row) {
+    row_syndrome(code, row, blocks, block_bytes, syndrome.data());
+    if (!all_zero(syndrome.data(), block_bytes)) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<std::size_t> locate_single_corruption(
+    const ErasureCode& code, std::uint8_t* const* blocks,
+    std::size_t block_bytes) {
+  const auto violated = violated_checks(code, blocks, block_bytes);
+  if (violated.empty()) return {};
+  const Matrix& h = code.parity_check();
+  std::vector<std::size_t> candidates;
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    // The block's nonzero-row signature must match the violated set.
+    std::vector<std::size_t> sig;
+    for (std::size_t row = 0; row < h.rows(); ++row) {
+      if (h(row, b) != 0) sig.push_back(row);
+    }
+    if (sig == violated) candidates.push_back(b);
+  }
+  return candidates;
+}
+
+}  // namespace ppm

@@ -1,0 +1,35 @@
+// Stripe consistency checking via parity-check syndromes.
+//
+// A consistent stripe satisfies H · B = 0 on every symbol. These helpers
+// compute the syndrome per check row, which storage systems use for
+// scrubbing (detecting silent corruption, paper §I's data-corruption
+// motivation) and which the tests use as an encoder oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/erasure_code.h"
+
+namespace ppm {
+
+/// True iff every check row's syndrome is zero over the whole region.
+bool stripe_consistent(const ErasureCode& code, std::uint8_t* const* blocks,
+                       std::size_t block_bytes);
+
+/// Indices of check rows whose syndrome is nonzero (empty = consistent).
+/// A single corrupted block trips exactly the rows whose column for that
+/// block is nonzero, which localizes the corruption for SD-style codes.
+std::vector<std::size_t> violated_checks(const ErasureCode& code,
+                                         std::uint8_t* const* blocks,
+                                         std::size_t block_bytes);
+
+/// Candidate corrupted blocks consistent with the violated-check pattern:
+/// blocks whose nonzero-row set equals the violated set exactly. Returns
+/// an empty vector when the stripe is consistent or when no single-block
+/// corruption explains the syndrome (multi-block corruption).
+std::vector<std::size_t> locate_single_corruption(
+    const ErasureCode& code, std::uint8_t* const* blocks,
+    std::size_t block_bytes);
+
+}  // namespace ppm

@@ -1,0 +1,106 @@
+// Event-driven array failure simulator.
+#include <gtest/gtest.h>
+
+#include "codes/sd_code.h"
+#include "sim/array_sim.h"
+
+namespace ppm {
+namespace {
+
+SimParams small_params() {
+  SimParams p;
+  p.hours = 24 * 90;           // a quarter
+  p.disk_mtbf_hours = 3000;    // aggressive failures for test coverage
+  p.sector_errors_per_disk_hour = 1e-3;
+  p.scrub_interval_hours = 72;
+  p.repair_hours = 12;
+  p.stripes = 16;
+  p.block_bytes = 1024;
+  p.seed = 77;
+  return p;
+}
+
+TEST(ArraySim, DeterministicForSameSeed) {
+  const SDCode code(8, 8, 2, 2, 8);
+  const ArraySimulator sim(code, small_params());
+  const SimResult a = sim.run(RepairPolicy::kPpm);
+  const SimResult b = sim.run(RepairPolicy::kPpm);
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+  EXPECT_EQ(a.sector_errors, b.sector_errors);
+  EXPECT_EQ(a.repair_events, b.repair_events);
+  EXPECT_EQ(a.compute.mult_xors, b.compute.mult_xors);
+}
+
+TEST(ArraySim, PoliciesSeeIdenticalFailureStream) {
+  const SDCode code(8, 8, 2, 2, 8);
+  const ArraySimulator sim(code, small_params());
+  const SimResult trad = sim.run(RepairPolicy::kTraditional);
+  const SimResult ppm = sim.run(RepairPolicy::kPpm);
+  EXPECT_EQ(trad.disk_failures, ppm.disk_failures);
+  EXPECT_EQ(trad.sector_errors, ppm.sector_errors);
+  EXPECT_EQ(trad.repair_events, ppm.repair_events);
+  EXPECT_EQ(trad.data_loss_events, ppm.data_loss_events);
+}
+
+TEST(ArraySim, PpmNeverComputesMoreThanTraditional) {
+  const SDCode code(8, 8, 2, 2, 8);
+  const ArraySimulator sim(code, small_params());
+  const SimResult trad = sim.run(RepairPolicy::kTraditional);
+  const SimResult ppm = sim.run(RepairPolicy::kPpm);
+  ASSERT_GT(trad.repair_events, 0u);
+  EXPECT_LE(ppm.compute.mult_xors, trad.compute.mult_xors);
+  EXPECT_GT(ppm.compute.mult_xors, 0u);
+}
+
+TEST(ArraySim, QuietArrayHasNoEvents) {
+  const SDCode code(6, 4, 2, 1, 8);
+  SimParams p = small_params();
+  p.disk_mtbf_hours = 1e12;  // disks never fail
+  p.sector_errors_per_disk_hour = 0;
+  const ArraySimulator sim(code, p);
+  const SimResult r = sim.run(RepairPolicy::kPpm);
+  EXPECT_EQ(r.disk_failures, 0u);
+  EXPECT_EQ(r.sector_errors, 0u);
+  EXPECT_EQ(r.repair_events, 0u);
+  EXPECT_EQ(r.data_loss_events, 0u);
+}
+
+TEST(ArraySim, OverwhelmingFailuresCauseDataLoss) {
+  // m=1 tolerance, brutal failure rate and slow repair: concurrent double
+  // failures are certain over the horizon.
+  const SDCode code(6, 4, 1, 1, 8);
+  SimParams p = small_params();
+  p.disk_mtbf_hours = 100;
+  p.repair_hours = 72;
+  p.sector_errors_per_disk_hour = 0;
+  p.seed = 5;
+  const ArraySimulator sim(code, p);
+  const SimResult r = sim.run(RepairPolicy::kPpm);
+  EXPECT_GT(r.disk_failures, 10u);
+  EXPECT_GT(r.max_concurrent_disks, 1u);
+  EXPECT_GT(r.data_loss_events, 0u);
+}
+
+TEST(ArraySim, ComputeScalesWithStripes) {
+  const SDCode code(8, 8, 2, 2, 8);
+  SimParams p = small_params();
+  const ArraySimulator sim1(code, p);
+  const SimResult one = sim1.run(RepairPolicy::kPpm);
+  p.stripes *= 2;
+  const ArraySimulator sim2(code, p);
+  const SimResult two = sim2.run(RepairPolicy::kPpm);
+  EXPECT_EQ(two.compute.mult_xors, 2 * one.compute.mult_xors);
+}
+
+TEST(ArraySim, ParameterValidation) {
+  const SDCode code(6, 4, 2, 1, 8);
+  SimParams p = small_params();
+  p.hours = 0;
+  EXPECT_THROW(ArraySimulator(code, p), std::invalid_argument);
+  p = small_params();
+  p.stripes = 0;
+  EXPECT_THROW(ArraySimulator(code, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,123 @@
+// Block-level (region-split) parallel decoder.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "decode/block_parallel_decoder.h"
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+TEST(BlockParallel, RecoversExactBytes) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 4096);
+  const auto snap = test::fill_and_encode(code, stripe, 800);
+  ScenarioGenerator gen(801);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  const BlockParallelDecoder dec(code, 4);
+  const auto res = dec.decode(g.scenario, stripe.block_ptrs(), 4096);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(stripe.equals(snap));
+  EXPECT_EQ(res->slices, 4u);
+  EXPECT_EQ(res->slice_seconds.size(), 4u);
+}
+
+TEST(BlockParallel, SliceCountIndependentOfResult) {
+  const SDCode code(6, 4, 2, 1, 8);
+  Stripe stripe(code, 1024);
+  const auto snap = test::fill_and_encode(code, stripe, 802);
+  ScenarioGenerator gen(803);
+  const auto g = gen.sd_worst_case(code, 2, 1, 1);
+  for (const unsigned t : {1u, 2u, 3u, 5u, 8u}) {
+    std::memcpy(stripe.block(0), snap.data(), snap.size());
+    stripe.erase(g.scenario);
+    const BlockParallelDecoder dec(code, t);
+    const auto res = dec.decode(g.scenario, stripe.block_ptrs(), 1024);
+    ASSERT_TRUE(res.has_value()) << "t=" << t;
+    EXPECT_TRUE(stripe.equals(snap)) << "t=" << t;
+  }
+}
+
+TEST(BlockParallel, OpCountMatchesWholeMatrixPlan) {
+  // Slicing must not change the paper's C accounting: ops equal the
+  // traditional decoder's count under the same sequence policy.
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 804);
+  ScenarioGenerator gen(805);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  const TraditionalDecoder trad(code);
+  const auto tr = trad.decode(g.scenario, stripe.block_ptrs(), 512,
+                              SequencePolicy::kAuto);
+  ASSERT_TRUE(tr.has_value());
+  stripe.erase(g.scenario);
+  const BlockParallelDecoder dec(code, 4, SequencePolicy::kAuto);
+  const auto res = dec.decode(g.scenario, stripe.block_ptrs(), 512);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->stats.mult_xors, tr->stats.mult_xors);
+  EXPECT_EQ(res->sequence_used, tr->sequence_used);
+}
+
+TEST(BlockParallel, UndecodableReturnsNullopt) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 806);
+  const BlockParallelDecoder dec(code, 2);
+  EXPECT_FALSE(dec.decode(FailureScenario({0, 1, 2}), stripe.block_ptrs(),
+                          512)
+                   .has_value());
+}
+
+TEST(BlockParallel, TinyBlocksCapSliceCount) {
+  // 4 symbols cannot be split into 8 slices; the decoder must cap.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Stripe stripe(code, 4);
+  const auto snap = test::fill_and_encode(code, stripe, 807);
+  const FailureScenario sc({5});
+  stripe.erase(sc);
+  const BlockParallelDecoder dec(code, 8);
+  const auto res = dec.decode(sc, stripe.block_ptrs(), 4);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_LE(res->slices, 4u);
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(BlockParallel, ModeledSecondsIsPlanPlusSlowestSlice) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 8192);
+  test::fill_and_encode(code, stripe, 808);
+  ScenarioGenerator gen(809);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  const BlockParallelDecoder dec(code, 4);
+  const auto res = dec.decode(g.scenario, stripe.block_ptrs(), 8192);
+  ASSERT_TRUE(res.has_value());
+  double slowest = 0;
+  for (const double t : res->slice_seconds) slowest = std::max(slowest, t);
+  EXPECT_NEAR(res->modeled_seconds(), res->plan_seconds + slowest, 1e-12);
+}
+
+TEST(PpmResultLpt, LptNeverAboveSerialAndTracksLanes) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 2048);
+  test::fill_and_encode(code, stripe, 810);
+  ScenarioGenerator gen(811);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  PpmOptions opts;
+  opts.threads = 4;
+  const PpmDecoder dec(code, opts);
+  const auto res = dec.decode(g.scenario, stripe.block_ptrs(), 2048);
+  ASSERT_TRUE(res.has_value());
+  // LPT makespan is bounded by the serial sum and by lanes * optimal.
+  EXPECT_LE(res->modeled_seconds_lpt(4), res->modeled_seconds(1) + 1e-12);
+  EXPECT_GE(res->modeled_seconds_lpt(2) + 1e-12,
+            res->modeled_seconds_lpt(4));
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,145 @@
+// Codec facade: plan caching and batch decode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/codec.h"
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+TEST(Codec, DecodeMatchesPpmDecoder) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 540);
+  ScenarioGenerator gen(541);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  Codec codec(code);
+  DecodeStats stats;
+  ASSERT_TRUE(codec.decode(g.scenario, stripe.block_ptrs(), 512, &stats));
+  EXPECT_TRUE(stripe.equals(snap));
+  // Cached plan realizes PPM's cost.
+  const auto costs = analyze_costs(code, g.scenario);
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(stats.mult_xors, costs->ppm_best());
+}
+
+TEST(Codec, PlanIsCachedAcrossDecodes) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Codec codec(code);
+  ScenarioGenerator gen(542);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  Stripe stripe(code, 256);
+  const auto snap = test::fill_and_encode(code, stripe, 543);
+  for (int i = 0; i < 5; ++i) {
+    stripe.erase(g.scenario);
+    ASSERT_TRUE(codec.decode(g.scenario, stripe.block_ptrs(), 256));
+  }
+  EXPECT_TRUE(stripe.equals(snap));
+  EXPECT_EQ(codec.cache_misses(), 1u);
+  EXPECT_EQ(codec.cache_hits(), 4u);
+  EXPECT_EQ(codec.cache_size(), 1u);
+}
+
+TEST(Codec, CacheEvictsFifoAtCapacity) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec::Options opts;
+  opts.cache_capacity = 2;
+  Codec codec(code, opts);
+  // Three distinct single-block scenarios.
+  for (const std::size_t b : {0u, 1u, 2u}) {
+    EXPECT_NE(codec.plan_for(FailureScenario({b})), nullptr);
+  }
+  EXPECT_EQ(codec.cache_size(), 2u);
+  // Scenario {0} was evicted; re-planning it is a miss.
+  const std::size_t misses = codec.cache_misses();
+  EXPECT_NE(codec.plan_for(FailureScenario({0})), nullptr);
+  EXPECT_EQ(codec.cache_misses(), misses + 1);
+}
+
+TEST(Codec, UndecodableScenarioReturnsFalse) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec codec(code);
+  Stripe stripe(code, 256);
+  test::fill_and_encode(code, stripe, 544);
+  EXPECT_FALSE(codec.decode(FailureScenario({0, 1, 2}), stripe.block_ptrs(),
+                            256));
+  EXPECT_EQ(codec.plan_for(FailureScenario({0, 1, 2})), nullptr);
+}
+
+TEST(Codec, EncodeMatchesTraditional) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe a(code, 256);
+  Stripe b(code, 256);
+  Rng rng(545);
+  a.fill_data(rng);
+  std::memcpy(b.block(0), a.block(0), a.stripe_bytes());
+  const TraditionalDecoder trad(code);
+  ASSERT_TRUE(trad.encode(a.block_ptrs(), 256));
+  Codec codec(code);
+  ASSERT_TRUE(codec.encode(b.block_ptrs(), 256));
+  EXPECT_TRUE(b.equals(a.snapshot()));
+}
+
+TEST(Codec, BatchDecodeRestoresEveryStripe) {
+  const SDCode code(8, 8, 2, 2, 8);
+  ScenarioGenerator gen(546);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+
+  constexpr std::size_t kStripes = 12;
+  std::vector<std::unique_ptr<Stripe>> stripes;
+  std::vector<std::vector<std::uint8_t>> snaps;
+  std::vector<std::uint8_t* const*> ptrs;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    stripes.push_back(std::make_unique<Stripe>(code, 256));
+    snaps.push_back(test::fill_and_encode(code, *stripes.back(), 547 + i));
+    stripes.back()->erase(g.scenario);
+    ptrs.push_back(stripes.back()->block_ptrs());
+  }
+
+  Codec::Options opts;
+  opts.threads = 3;
+  Codec codec(code, opts);
+  const auto result = codec.decode_batch(g.scenario, ptrs, 256);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stripes, kStripes);
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    EXPECT_TRUE(stripes[i]->equals(snaps[i])) << "stripe " << i;
+  }
+  // Stats sum over stripes: kStripes * per-stripe cost.
+  const auto costs = analyze_costs(code, g.scenario);
+  EXPECT_EQ(result->stats.mult_xors, kStripes * costs->ppm_best());
+}
+
+TEST(Codec, BatchDecodeEmptyBatch) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec codec(code);
+  const auto result =
+      codec.decode_batch(FailureScenario({0}), {}, 256);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stripes, 0u);
+  EXPECT_EQ(result->stats.mult_xors, 0u);
+}
+
+TEST(Codec, EmptyScenarioDecodeIsNoOp) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec codec(code);
+  Stripe stripe(code, 256);
+  const auto snap = test::fill_and_encode(code, stripe, 548);
+  ASSERT_TRUE(codec.decode(FailureScenario{}, stripe.block_ptrs(), 256));
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(CachedPlan, CostAccountsGroupsAndRest) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec codec(code);
+  const auto plan = codec.plan_for(FailureScenario({2, 6, 10, 13, 14}));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->p(), 3u);
+  EXPECT_EQ(plan->cost(), 29u);  // C4 from the paper's example
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,187 @@
+// EVENODD and RDP: the symmetric XOR array codes used as PPM's negative
+// controls. Verifies the constructions (RAID-6 double-fault tolerance,
+// binary coefficients) and the partition degeneracy the paper's premise
+// predicts.
+#include <gtest/gtest.h>
+
+#include "codes/evenodd_code.h"
+#include "codes/rdp_code.h"
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+template <typename Code>
+void expect_all_double_disk_failures_decodable(const Code& code) {
+  const std::size_t n = code.disks();
+  const std::size_t r = code.rows();
+  for (std::size_t d1 = 0; d1 < n; ++d1) {
+    for (std::size_t d2 = d1 + 1; d2 < n; ++d2) {
+      std::vector<std::size_t> faulty;
+      for (std::size_t i = 0; i < r; ++i) {
+        faulty.push_back(code.block_id(i, d1));
+        faulty.push_back(code.block_id(i, d2));
+      }
+      std::sort(faulty.begin(), faulty.end());
+      const Matrix f = code.parity_check().select_columns(faulty);
+      EXPECT_EQ(f.rank(), f.cols())
+          << code.name() << " disks " << d1 << "," << d2;
+    }
+  }
+}
+
+TEST(EvenOdd, Geometry) {
+  const EvenOddCode code(5);
+  EXPECT_EQ(code.disks(), 7u);   // p data + P + Q
+  EXPECT_EQ(code.rows(), 4u);    // p - 1
+  EXPECT_EQ(code.check_rows(), 8u);
+  EXPECT_EQ(code.parity_blocks().size(), 8u);
+  EXPECT_EQ(code.row_parity_disk(), 5u);
+  EXPECT_EQ(code.diag_parity_disk(), 6u);
+}
+
+TEST(EvenOdd, CoefficientsAreBinary) {
+  const EvenOddCode code(5);
+  for (const gf::Element v : code.parity_check().data()) EXPECT_LE(v, 1u);
+}
+
+TEST(EvenOdd, ChecksIndependentAndEncodable) {
+  for (const std::size_t p : {3u, 5u, 7u}) {
+    const EvenOddCode code(p);
+    EXPECT_EQ(code.parity_check().rank(), code.check_rows()) << "p=" << p;
+    const Matrix f =
+        code.parity_check().select_columns(code.parity_blocks());
+    EXPECT_EQ(f.rank(), f.cols()) << "p=" << p;
+  }
+}
+
+TEST(EvenOdd, ToleratesAnyTwoDiskFailures) {
+  expect_all_double_disk_failures_decodable(EvenOddCode(5));
+  expect_all_double_disk_failures_decodable(EvenOddCode(7));
+}
+
+TEST(EvenOdd, RoundTripBothDecoders) {
+  const EvenOddCode code(5);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 600);
+  // Two full disks (one data, one parity).
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < code.rows(); ++i) {
+    faulty.push_back(code.block_id(i, 1));
+    faulty.push_back(code.block_id(i, code.diag_parity_disk()));
+  }
+  const FailureScenario sc(faulty);
+  const TraditionalDecoder trad(code);
+  const PpmDecoder ppm_dec(code);
+  stripe.erase(sc);
+  ASSERT_TRUE(trad.decode(sc, stripe.block_ptrs(), 512));
+  ASSERT_TRUE(stripe.equals(snap));
+  stripe.erase(sc);
+  ASSERT_TRUE(ppm_dec.decode(sc, stripe.block_ptrs(), 512));
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(EvenOdd, DoubleDataDiskFailureDefeatsPartition) {
+  // The paper's premise: symmetric codes under their design failure leave
+  // nothing to partition — every check row couples both failed disks with
+  // a signature no other row repeats.
+  const EvenOddCode code(5);
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < code.rows(); ++i) {
+    faulty.push_back(code.block_id(i, 0));
+    faulty.push_back(code.block_id(i, 2));
+  }
+  std::sort(faulty.begin(), faulty.end());
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  const Partition part = make_partition(code.parity_check(), table);
+  EXPECT_EQ(part.p(), 0u);
+  EXPECT_EQ(part.rest_faulty.size(), faulty.size());
+}
+
+TEST(EvenOdd, SingleDiskRebuildFullyPartitions) {
+  // One failed disk: each row-parity equation recovers its cell alone.
+  const EvenOddCode code(5);
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < code.rows(); ++i) {
+    faulty.push_back(code.block_id(i, 3));
+  }
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  const Partition part = make_partition(code.parity_check(), table);
+  EXPECT_EQ(part.p(), code.rows());
+  EXPECT_TRUE(part.rest_empty());
+}
+
+TEST(EvenOdd, RejectsNonPrime) {
+  EXPECT_THROW(EvenOddCode(4), std::invalid_argument);
+  EXPECT_THROW(EvenOddCode(9), std::invalid_argument);
+  EXPECT_THROW(EvenOddCode(2), std::invalid_argument);
+}
+
+TEST(RDP, Geometry) {
+  const RDPCode code(5);
+  EXPECT_EQ(code.disks(), 6u);  // p-1 data + row parity + diag parity
+  EXPECT_EQ(code.rows(), 4u);
+  EXPECT_EQ(code.check_rows(), 8u);
+  EXPECT_EQ(code.row_parity_disk(), 4u);
+  EXPECT_EQ(code.diag_parity_disk(), 5u);
+}
+
+TEST(RDP, DiagonalRowsCoverRowParityColumn) {
+  // RDP's defining trait vs EVENODD: diagonals include the row-parity
+  // disk's cells.
+  const RDPCode code(5);
+  const Matrix& h = code.parity_check();
+  bool touches_row_parity = false;
+  for (std::size_t d = 0; d < code.rows(); ++d) {
+    for (std::size_t i = 0; i < code.rows(); ++i) {
+      touches_row_parity |=
+          h(code.rows() + d, code.block_id(i, code.row_parity_disk())) != 0;
+    }
+  }
+  EXPECT_TRUE(touches_row_parity);
+}
+
+TEST(RDP, ChecksIndependentAndEncodable) {
+  for (const std::size_t p : {3u, 5u, 7u, 11u}) {
+    const RDPCode code(p);
+    EXPECT_EQ(code.parity_check().rank(), code.check_rows()) << "p=" << p;
+    const Matrix f =
+        code.parity_check().select_columns(code.parity_blocks());
+    EXPECT_EQ(f.rank(), f.cols()) << "p=" << p;
+  }
+}
+
+TEST(RDP, ToleratesAnyTwoDiskFailures) {
+  expect_all_double_disk_failures_decodable(RDPCode(5));
+  expect_all_double_disk_failures_decodable(RDPCode(7));
+}
+
+TEST(RDP, RoundTripBothDecoders) {
+  const RDPCode code(7);
+  Stripe stripe(code, 256);
+  const auto snap = test::fill_and_encode(code, stripe, 601);
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < code.rows(); ++i) {
+    faulty.push_back(code.block_id(i, 0));
+    faulty.push_back(code.block_id(i, 4));
+  }
+  const FailureScenario sc(faulty);
+  const TraditionalDecoder trad(code);
+  const PpmDecoder ppm_dec(code);
+  stripe.erase(sc);
+  ASSERT_TRUE(trad.decode(sc, stripe.block_ptrs(), 256));
+  ASSERT_TRUE(stripe.equals(snap));
+  stripe.erase(sc);
+  ASSERT_TRUE(ppm_dec.decode(sc, stripe.block_ptrs(), 256));
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(RDP, RejectsNonPrime) {
+  EXPECT_THROW(RDPCode(6), std::invalid_argument);
+  EXPECT_THROW(RDPCode(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

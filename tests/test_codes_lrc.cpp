@@ -1,0 +1,104 @@
+// LRC construction: groups, parity rows, storage cost, validation.
+#include <gtest/gtest.h>
+
+#include "codes/lrc_code.h"
+
+namespace ppm {
+namespace {
+
+TEST(LRCCode, PaperExample422) {
+  // (4,2,2)-LRC from the paper's Fig. 1: 4 data, 2 local, 2 global.
+  const LRCCode code(4, 2, 2, 8);
+  EXPECT_EQ(code.total_blocks(), 8u);
+  EXPECT_EQ(code.check_rows(), 4u);
+  EXPECT_EQ(code.k(), 4u);
+  EXPECT_EQ(code.l(), 2u);
+  EXPECT_EQ(code.g(), 2u);
+  EXPECT_EQ(code.rows(), 1u);  // strip-granular
+  EXPECT_DOUBLE_EQ(code.storage_cost(), 2.0);
+}
+
+TEST(LRCCode, LocalRowsAreGroupXor) {
+  const LRCCode code(4, 2, 2, 8);
+  const Matrix& h = code.parity_check();
+  // Group 0 = {0, 1}, local parity block 4; group 1 = {2, 3}, parity 5.
+  EXPECT_EQ(h(0, 0), 1u);
+  EXPECT_EQ(h(0, 1), 1u);
+  EXPECT_EQ(h(0, 2), 0u);
+  EXPECT_EQ(h(0, 4), 1u);
+  EXPECT_EQ(h(0, 5), 0u);
+  EXPECT_EQ(h(1, 2), 1u);
+  EXPECT_EQ(h(1, 3), 1u);
+  EXPECT_EQ(h(1, 5), 1u);
+}
+
+TEST(LRCCode, GlobalRowsSpanAllData) {
+  const LRCCode code(6, 2, 2, 8);
+  const Matrix& h = code.parity_check();
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t d = 0; d < 6; ++d) {
+      EXPECT_NE(h(2 + j, d), 0u) << "global " << j << " data " << d;
+    }
+    EXPECT_EQ(h(2 + j, code.global_parity_block(j)), 1u);
+    // A global row must not touch local parities or the other global.
+    EXPECT_EQ(h(2 + j, code.local_parity_block(0)), 0u);
+    EXPECT_EQ(h(2 + j, code.global_parity_block(1 - j)), 0u);
+  }
+}
+
+TEST(LRCCode, LocalParityArityIsKOverL) {
+  // Asymmetry (the paper's defining property): local parity is computed
+  // from k/l blocks, global parity from k blocks.
+  const LRCCode code(12, 3, 2, 8);
+  const Matrix& h = code.parity_check();
+  std::size_t local_arity = 0;
+  std::size_t global_arity = 0;
+  for (std::size_t d = 0; d < 12; ++d) {
+    local_arity += (h(0, d) != 0);
+    global_arity += (h(3, d) != 0);
+  }
+  EXPECT_EQ(local_arity, 4u);    // k/l = 12/3
+  EXPECT_EQ(global_arity, 12u);  // k
+}
+
+TEST(LRCCode, GroupHelpers) {
+  const LRCCode code(10, 3, 2, 8);  // group size ceil(10/3) = 4
+  EXPECT_EQ(code.group_of(0), 0u);
+  EXPECT_EQ(code.group_of(3), 0u);
+  EXPECT_EQ(code.group_of(4), 1u);
+  EXPECT_EQ(code.group_of(9), 2u);
+  EXPECT_EQ(code.group_members(0),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(code.group_members(2), (std::vector<std::size_t>{8, 9}));
+  EXPECT_EQ(code.local_parity_block(1), 11u);
+  EXPECT_EQ(code.global_parity_block(0), 13u);
+}
+
+TEST(LRCCode, StorageCostSweep) {
+  // The Fig. 11 x-axis: cost = (k+l+g)/k.
+  EXPECT_NEAR(LRCCode(20, 2, 2, 8).storage_cost(), 1.2, 1e-9);
+  EXPECT_NEAR(LRCCode(10, 2, 2, 8).storage_cost(), 1.4, 1e-9);
+  EXPECT_NEAR(LRCCode(10, 4, 3, 8).storage_cost(), 1.7, 1e-9);
+}
+
+TEST(LRCCode, ChecksAreIndependent) {
+  const LRCCode code(12, 4, 3, 8);
+  EXPECT_EQ(code.parity_check().rank(), code.check_rows());
+}
+
+TEST(LRCCode, EncodingSystemSolvable) {
+  const LRCCode code(12, 4, 3, 8);
+  const Matrix f = code.parity_check().select_columns(code.parity_blocks());
+  EXPECT_EQ(f.rank(), f.cols());
+}
+
+TEST(LRCCode, ParameterValidation) {
+  EXPECT_THROW(LRCCode(0, 1, 1, 8), std::invalid_argument);
+  EXPECT_THROW(LRCCode(4, 0, 1, 8), std::invalid_argument);
+  EXPECT_THROW(LRCCode(4, 2, 0, 8), std::invalid_argument);
+  EXPECT_THROW(LRCCode(4, 5, 1, 8), std::invalid_argument);   // l > k
+  EXPECT_THROW(LRCCode(200, 2, 3, 8), std::invalid_argument);  // field small
+}
+
+}  // namespace
+}  // namespace ppm

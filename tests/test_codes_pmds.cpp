@@ -1,0 +1,59 @@
+// PMDS construction: the SD-family subset relationship the paper relies on.
+#include <gtest/gtest.h>
+
+#include "codes/pmds_code.h"
+#include "codes/sd_code.h"
+
+namespace ppm {
+namespace {
+
+TEST(PMDSCode, Geometry) {
+  const PMDSCode code(8, 8, 2, 2, 8);
+  EXPECT_EQ(code.disks(), 8u);
+  EXPECT_EQ(code.rows(), 8u);
+  EXPECT_EQ(code.m(), 2u);
+  EXPECT_EQ(code.s(), 2u);
+  EXPECT_EQ(code.check_rows(), 2u * 8u + 2u);
+  EXPECT_EQ(code.parity_blocks().size(), 2u * 8u + 2u);
+}
+
+TEST(PMDSCode, SharesSDStructure) {
+  // PMDS is the same parity-check family as SD (paper §IV): identical
+  // sparsity pattern, identical parity placement.
+  const PMDSCode pmds(6, 4, 2, 1, 8);
+  const SDCode sd(6, 4, 2, 1, 8);
+  const Matrix& hp = pmds.parity_check();
+  const Matrix& hs = sd.parity_check();
+  ASSERT_EQ(hp.rows(), hs.rows());
+  ASSERT_EQ(hp.cols(), hs.cols());
+  for (std::size_t i = 0; i < hp.rows(); ++i) {
+    for (std::size_t j = 0; j < hp.cols(); ++j) {
+      EXPECT_EQ(hp(i, j) != 0, hs(i, j) != 0) << i << "," << j;
+    }
+  }
+  EXPECT_TRUE(std::equal(pmds.parity_blocks().begin(),
+                         pmds.parity_blocks().end(),
+                         sd.parity_blocks().begin(),
+                         sd.parity_blocks().end()));
+}
+
+TEST(PMDSCode, EncodingSystemSolvable) {
+  const PMDSCode code(8, 8, 2, 2, 8);
+  const Matrix f = code.parity_check().select_columns(code.parity_blocks());
+  EXPECT_EQ(f.rank(), f.cols());
+}
+
+TEST(PMDSCode, ExplicitCoefficientsHonoured) {
+  const PMDSCode code(4, 4, 1, 1, 8, {1, 2});
+  EXPECT_EQ(code.coefficients(), (std::vector<gf::Element>{1, 2}));
+}
+
+TEST(PMDSCode, ParameterValidation) {
+  EXPECT_THROW(PMDSCode(4, 4, 0, 1, 8), std::invalid_argument);
+  EXPECT_THROW(PMDSCode(4, 4, 4, 1, 8), std::invalid_argument);
+  EXPECT_THROW(PMDSCode(4, 4, 1, 12, 8), std::invalid_argument);
+  EXPECT_THROW(PMDSCode(4, 4, 1, 1, 8, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

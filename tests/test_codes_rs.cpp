@@ -1,0 +1,72 @@
+// RS baseline: Cauchy parity structure and the MDS property.
+#include <gtest/gtest.h>
+
+#include "codes/rs_code.h"
+#include "common/rng.h"
+
+namespace ppm {
+namespace {
+
+TEST(RSCode, Geometry) {
+  const RSCode code(6, 2, 8);
+  EXPECT_EQ(code.k(), 6u);
+  EXPECT_EQ(code.m(), 2u);
+  EXPECT_EQ(code.total_blocks(), 8u);
+  EXPECT_EQ(code.check_rows(), 2u);
+  EXPECT_EQ(code.rows(), 1u);
+  EXPECT_EQ(code.parity_blocks().size(), 2u);
+  EXPECT_TRUE(code.is_parity(6));
+  EXPECT_TRUE(code.is_parity(7));
+  EXPECT_FALSE(code.is_parity(0));
+}
+
+TEST(RSCode, SymmetricParity) {
+  // Every parity row draws on all k data blocks with nonzero coefficients —
+  // the paper's definition of symmetric parity.
+  const RSCode code(10, 3, 8);
+  const Matrix& h = code.parity_check();
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t d = 0; d < 10; ++d) {
+      EXPECT_NE(h(j, d), 0u) << "parity " << j << " data " << d;
+    }
+    EXPECT_EQ(h(j, 10 + j), 1u);
+  }
+}
+
+TEST(RSCode, MdsEveryFailurePatternDecodable) {
+  // Cauchy construction: exhaustively verify that every m-subset of blocks
+  // yields an invertible F for a small code.
+  const RSCode code(5, 3, 8);
+  const Matrix& h = code.parity_check();
+  const std::size_t n = code.total_blocks();
+  std::size_t patterns = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        const std::vector<std::size_t> faulty{a, b, c};
+        const Matrix f = h.select_columns(faulty);
+        EXPECT_EQ(f.rank(), 3u) << a << "," << b << "," << c;
+        ++patterns;
+      }
+    }
+  }
+  EXPECT_EQ(patterns, 56u);  // C(8,3)
+}
+
+TEST(RSCode, WiderFieldsSupported) {
+  for (unsigned w : {8u, 16u, 32u}) {
+    const RSCode code(12, 4, w);
+    EXPECT_EQ(code.field().w(), w);
+    const Matrix f = code.parity_check().select_columns(code.parity_blocks());
+    EXPECT_EQ(f.rank(), 4u);
+  }
+}
+
+TEST(RSCode, ParameterValidation) {
+  EXPECT_THROW(RSCode(0, 2, 8), std::invalid_argument);
+  EXPECT_THROW(RSCode(2, 0, 8), std::invalid_argument);
+  EXPECT_THROW(RSCode(250, 10, 8), std::invalid_argument);  // k+m > 2^8
+}
+
+}  // namespace
+}  // namespace ppm

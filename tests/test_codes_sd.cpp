@@ -1,0 +1,131 @@
+// SD code construction: geometry, the paper's Fig. 2 instance, parity
+// placement, width selection and parameter validation.
+#include <gtest/gtest.h>
+
+#include "codes/sd_code.h"
+
+namespace ppm {
+namespace {
+
+TEST(SDCode, Fig2InstanceMatchesPaper) {
+  // SD^{1,1}_{4,4}(8 | 1, 2): H is 5x16; rows 0-3 are per-row XOR parity,
+  // row 4 is sum 2^i * b_i over the whole stripe.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const Matrix& h = code.parity_check();
+  ASSERT_EQ(h.rows(), 5u);
+  ASSERT_EQ(h.cols(), 16u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t l = 0; l < 16; ++l) {
+      EXPECT_EQ(h(i, l), (l / 4 == i) ? 1u : 0u) << "row " << i << " col " << l;
+    }
+  }
+  const gf::Field& f = code.field();
+  for (std::size_t l = 0; l < 16; ++l) {
+    EXPECT_EQ(h(4, l), f.exp2(l)) << "col " << l;
+  }
+}
+
+TEST(SDCode, Fig2ParityBlocks) {
+  // Coding disk 3 (blocks 3, 7, 11, 15) + 1 coding sector. The sector takes
+  // the tail data cell: row 3, disk 2 -> block 14.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const std::vector<std::size_t> expect{3, 7, 11, 14, 15};
+  EXPECT_EQ(std::vector<std::size_t>(code.parity_blocks().begin(),
+                                     code.parity_blocks().end()),
+            expect);
+  EXPECT_EQ(code.data_block_count(), 11u);
+  EXPECT_TRUE(code.is_parity(14));
+  EXPECT_FALSE(code.is_parity(13));
+}
+
+TEST(SDCode, GeometryAccessors) {
+  const SDCode code(6, 4, 2, 2, 8);
+  EXPECT_EQ(code.disks(), 6u);
+  EXPECT_EQ(code.rows(), 4u);
+  EXPECT_EQ(code.m(), 2u);
+  EXPECT_EQ(code.s(), 2u);
+  EXPECT_EQ(code.total_blocks(), 24u);
+  EXPECT_EQ(code.check_rows(), 2u * 4u + 2u);
+  EXPECT_EQ(code.block_id(2, 3), 2u * 6u + 3u);
+  EXPECT_EQ(code.coefficients().size(), 4u);
+  EXPECT_EQ(code.coefficients()[0], 1u);  // a_0 = 1 always
+}
+
+TEST(SDCode, ParityCountIsMRPlusS) {
+  for (std::size_t m = 1; m <= 3; ++m) {
+    for (std::size_t s = 1; s <= 3; ++s) {
+      const SDCode code(8, 8, m, s, 8);
+      EXPECT_EQ(code.parity_blocks().size(), m * 8 + s);
+    }
+  }
+}
+
+TEST(SDCode, SectorParitySpillsAcrossRows) {
+  // n=4, m=2 leaves 2 data disks per row; s=3 coding sectors must occupy
+  // row 7 entirely (blocks 29, 28) and spill into row 6 (block 25).
+  const auto ids = SDCode::parity_block_ids(4, 8, 2, 3);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 29));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 28));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 25));
+  EXPECT_EQ(ids.size(), 2u * 8u + 3u);
+}
+
+TEST(SDCode, DiskParityRowsTouchOnlyTheirRow) {
+  const SDCode code(6, 4, 2, 1, 8);
+  const Matrix& h = code.parity_check();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t q = 0; q < 2; ++q) {
+      for (std::size_t l = 0; l < 24; ++l) {
+        if (l / 6 == i) {
+          EXPECT_NE(h(i * 2 + q, l), 0u);
+        } else {
+          EXPECT_EQ(h(i * 2 + q, l), 0u);
+        }
+      }
+    }
+  }
+  // Sector-parity row is dense.
+  for (std::size_t l = 0; l < 24; ++l) EXPECT_NE(h(8, l), 0u);
+}
+
+TEST(SDCode, RecommendedWidthSwitchesWithStripeSize) {
+  EXPECT_EQ(SDCode::recommended_width(4, 4), 8u);
+  EXPECT_EQ(SDCode::recommended_width(15, 17), 8u);   // 255 blocks
+  EXPECT_EQ(SDCode::recommended_width(16, 16), 16u);  // 256 blocks
+  EXPECT_EQ(SDCode::recommended_width(24, 24), 16u);
+  EXPECT_EQ(SDCode::recommended_width(256, 256), 32u);
+}
+
+TEST(SDCode, ParameterValidation) {
+  EXPECT_THROW(SDCode(4, 4, 0, 1, 8), std::invalid_argument);   // m = 0
+  EXPECT_THROW(SDCode(4, 4, 4, 1, 8), std::invalid_argument);   // m = n
+  EXPECT_THROW(SDCode(4, 4, 1, 12, 8), std::invalid_argument);  // s too big
+  EXPECT_THROW(SDCode(24, 24, 1, 1, 8), std::invalid_argument);  // field small
+  EXPECT_THROW(SDCode(4, 4, 1, 1, 8, {1}), std::invalid_argument);  // #coeffs
+}
+
+TEST(SDCode, HParityColumnsSolveToZeroSyndrome) {
+  // For a correctly encoded stripe H*B = 0; structurally this requires the
+  // parity columns of H to have full rank (encodability).
+  const SDCode code(6, 4, 2, 2, 8);
+  const Matrix f =
+      code.parity_check().select_columns(code.parity_blocks());
+  EXPECT_EQ(f.rank(), f.cols());
+}
+
+TEST(SDCode, NameMentionsParameters) {
+  const SDCode code(6, 4, 2, 2, 8);
+  EXPECT_NE(code.name().find("SD"), std::string::npos);
+  EXPECT_NE(code.name().find('6'), std::string::npos);
+}
+
+TEST(SDCode, LargeStripeUsesWiderField) {
+  const unsigned w = SDCode::recommended_width(24, 16);
+  ASSERT_EQ(w, 16u);
+  const SDCode code(24, 16, 2, 2, w);
+  EXPECT_EQ(code.total_blocks(), 384u);
+  EXPECT_EQ(code.field().w(), 16u);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,97 @@
+// STAR code: triple-fault-tolerant symmetric array code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/star_code.h"
+#include "test_util.h"
+#include "workload/scenario_gen.h"
+
+namespace ppm {
+namespace {
+
+TEST(Star, Geometry) {
+  const StarCode code(5);
+  EXPECT_EQ(code.disks(), 8u);  // p data + 3 parity
+  EXPECT_EQ(code.rows(), 4u);
+  EXPECT_EQ(code.check_rows(), 12u);
+  EXPECT_EQ(code.parity_blocks().size(), 12u);
+  EXPECT_EQ(code.row_parity_disk(), 5u);
+  EXPECT_EQ(code.diag_parity_disk(), 6u);
+  EXPECT_EQ(code.anti_parity_disk(), 7u);
+}
+
+TEST(Star, CoefficientsAreBinary) {
+  const StarCode code(5);
+  for (const gf::Element v : code.parity_check().data()) EXPECT_LE(v, 1u);
+}
+
+TEST(Star, ChecksIndependentAndEncodable) {
+  for (const std::size_t p : {3u, 5u, 7u}) {
+    const StarCode code(p);
+    EXPECT_EQ(code.parity_check().rank(), code.check_rows()) << "p=" << p;
+    const Matrix f =
+        code.parity_check().select_columns(code.parity_blocks());
+    EXPECT_EQ(f.rank(), f.cols()) << "p=" << p;
+  }
+}
+
+TEST(Star, ToleratesAnyThreeDiskFailures) {
+  const StarCode code(5);
+  const std::size_t n = code.disks();
+  const std::size_t r = code.rows();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        std::vector<std::size_t> faulty;
+        for (std::size_t i = 0; i < r; ++i) {
+          faulty.push_back(code.block_id(i, a));
+          faulty.push_back(code.block_id(i, b));
+          faulty.push_back(code.block_id(i, c));
+        }
+        std::sort(faulty.begin(), faulty.end());
+        const Matrix f = code.parity_check().select_columns(faulty);
+        EXPECT_EQ(f.rank(), f.cols()) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Star, RoundTripBothDecoders) {
+  const StarCode code(5);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 650);
+  ScenarioGenerator gen(651);
+  const auto g = gen.disk_failures(code, 3);
+  const TraditionalDecoder trad(code);
+  const PpmDecoder ppm_dec(code);
+  stripe.erase(g.scenario);
+  ASSERT_TRUE(trad.decode(g.scenario, stripe.block_ptrs(), 512));
+  ASSERT_TRUE(stripe.equals(snap));
+  stripe.erase(g.scenario);
+  ASSERT_TRUE(ppm_dec.decode(g.scenario, stripe.block_ptrs(), 512));
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(Star, SymmetricParityArity) {
+  // All three parity families draw on the same number of data blocks per
+  // row class — STAR is symmetric in the paper's sense (no dedicated
+  // small parity exists).
+  const StarCode code(5);
+  const Matrix& h = code.parity_check();
+  // Every check row has at least p nonzeros (row rows: p+1; diagonal rows
+  // carry the adjuster, so more).
+  for (std::size_t row = 0; row < h.rows(); ++row) {
+    std::size_t nz = 0;
+    for (std::size_t c = 0; c < h.cols(); ++c) nz += (h(row, c) != 0);
+    EXPECT_GE(nz, code.p()) << "row " << row;
+  }
+}
+
+TEST(Star, RejectsNonPrime) {
+  EXPECT_THROW(StarCode(4), std::invalid_argument);
+  EXPECT_THROW(StarCode(8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

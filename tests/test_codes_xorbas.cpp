@@ -1,0 +1,101 @@
+// Xorbas/Facebook-style LRC: structure and PPM interaction.
+#include <gtest/gtest.h>
+
+#include "codes/xorbas_lrc_code.h"
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+TEST(XorbasLRC, Geometry1062) {
+  // The canonical Facebook deployment shape: 10 data, 2 data-locals,
+  // 4 globals, 1 global-local.
+  const XorbasLRCCode code(10, 2, 4, 8);
+  EXPECT_EQ(code.total_blocks(), 17u);
+  EXPECT_EQ(code.check_rows(), 7u);
+  EXPECT_EQ(code.parity_blocks().size(), 7u);
+  EXPECT_NEAR(code.storage_cost(), 1.7, 1e-9);
+  EXPECT_EQ(code.global_local_parity_block(), 16u);
+}
+
+TEST(XorbasLRC, GlobalLocalRowCoversGlobalsOnly) {
+  const XorbasLRCCode code(10, 2, 4, 8);
+  const Matrix& h = code.parity_check();
+  const std::size_t row = 2 + 4;  // l + g
+  for (std::size_t d = 0; d < 10; ++d) EXPECT_EQ(h(row, d), 0u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(h(row, code.global_parity_block(j)), 1u);
+  }
+  EXPECT_EQ(h(row, code.global_local_parity_block()), 1u);
+}
+
+TEST(XorbasLRC, ChecksIndependentAndEncodable) {
+  const XorbasLRCCode code(10, 2, 4, 8);
+  EXPECT_EQ(code.parity_check().rank(), code.check_rows());
+  const Matrix f = code.parity_check().select_columns(code.parity_blocks());
+  EXPECT_EQ(f.rank(), f.cols());
+}
+
+TEST(XorbasLRC, LostGlobalParityRepairsLocally) {
+  // The raison d'être of the extra local: a single lost global parity is
+  // an independent faulty block recovered from the parity group alone.
+  const XorbasLRCCode code(10, 2, 4, 8);
+  const std::size_t victim = code.global_parity_block(1);
+  const std::vector<std::size_t> faulty{victim};
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  const Partition part = make_partition(code.parity_check(), table);
+  ASSERT_EQ(part.p(), 1u);
+  EXPECT_TRUE(part.rest_empty());
+  // The group uses the global-local row (cheap, 4 survivors), not a
+  // Vandermonde row over all data (10+ survivors) — the partitioner
+  // prefers lighter equations within a bucket.
+  EXPECT_EQ(part.groups[0].rows, (std::vector<std::size_t>{2 + 4}));
+}
+
+TEST(XorbasLRC, MaximumParallelismScenario) {
+  // One failure per data group + one global parity: p = l + 1 independent
+  // repairs, empty rest.
+  const XorbasLRCCode code(10, 2, 4, 8);
+  const std::vector<std::size_t> faulty{0, 7, code.global_parity_block(0)};
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  const Partition part = make_partition(code.parity_check(), table);
+  EXPECT_EQ(part.p(), 3u);
+  EXPECT_TRUE(part.rest_empty());
+}
+
+TEST(XorbasLRC, RoundTripWithBothDecoders) {
+  const XorbasLRCCode code(10, 2, 4, 8);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 560);
+  const TraditionalDecoder trad(code);
+  const PpmDecoder ppm_dec(code);
+  // Several decodable patterns, including multi-failure globals.
+  const FailureScenario scenarios[] = {
+      FailureScenario({0}),
+      FailureScenario({0, 5}),
+      FailureScenario({0, 5, 16}),
+      FailureScenario({0, 1, 12}),
+      FailureScenario({10, 12, 13}),
+  };
+  for (const auto& sc : scenarios) {
+    stripe.erase(sc);
+    ASSERT_TRUE(trad.decode(sc, stripe.block_ptrs(), 512));
+    ASSERT_TRUE(stripe.equals(snap));
+    stripe.erase(sc);
+    ASSERT_TRUE(ppm_dec.decode(sc, stripe.block_ptrs(), 512));
+    ASSERT_TRUE(stripe.equals(snap));
+  }
+}
+
+TEST(XorbasLRC, ParameterValidation) {
+  EXPECT_THROW(XorbasLRCCode(0, 1, 1, 8), std::invalid_argument);
+  EXPECT_THROW(XorbasLRCCode(4, 0, 1, 8), std::invalid_argument);
+  EXPECT_THROW(XorbasLRCCode(4, 2, 0, 8), std::invalid_argument);
+  EXPECT_THROW(XorbasLRCCode(4, 5, 1, 8), std::invalid_argument);
+  EXPECT_THROW(XorbasLRCCode(200, 2, 3, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,53 @@
+// Coefficient search and validation.
+#include <gtest/gtest.h>
+
+#include "codes/coeff_search.h"
+#include "codes/sd_code.h"
+
+namespace ppm {
+namespace {
+
+TEST(CoeffSearch, PaperFig2CoefficientsValidate) {
+  // (1, 2) is the published SD^{1,1}_{4,4}(8|1,2) tuple.
+  const std::vector<gf::Element> coeffs{1, 2};
+  EXPECT_TRUE(validate_sd_coefficients(4, 4, 1, 1, 8, coeffs));
+}
+
+TEST(CoeffSearch, RejectsDegenerateTuple) {
+  // Duplicated coefficients collapse check rows: a_1 == a_0 makes the
+  // global equation a copy of a (scaled) sum of the row equations only in
+  // degenerate cases, but always fails for the encoding system when two
+  // sector-parity coefficients coincide.
+  const std::vector<gf::Element> coeffs{1, 1};
+  EXPECT_FALSE(validate_sd_coefficients(4, 4, 1, 1, 8, coeffs));
+}
+
+TEST(CoeffSearch, SearchedTupleAlwaysValidates) {
+  for (std::size_t m = 1; m <= 2; ++m) {
+    for (std::size_t s = 1; s <= 2; ++s) {
+      const auto coeffs = sd_coefficients(6, 4, m, s, 8);
+      ASSERT_EQ(coeffs.size(), m + s);
+      EXPECT_EQ(coeffs[0], 1u);
+      EXPECT_TRUE(validate_sd_coefficients(6, 4, m, s, 8, coeffs));
+    }
+  }
+}
+
+TEST(CoeffSearch, CacheReturnsSameTuple) {
+  const auto a = sd_coefficients(8, 8, 2, 2, 8);
+  const auto b = sd_coefficients(8, 8, 2, 2, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CoeffSearch, WorksAtWiderWidths) {
+  const auto coeffs = sd_coefficients(24, 16, 2, 2, 16);
+  EXPECT_TRUE(validate_sd_coefficients(24, 16, 2, 2, 16, coeffs));
+}
+
+TEST(CoeffSearch, DefaultCodeConstructionUsesValidatedCoefficients) {
+  const SDCode code(9, 8, 3, 3, 8);
+  EXPECT_TRUE(validate_sd_coefficients(9, 8, 3, 3, 8, code.coefficients()));
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,91 @@
+// The empirical C1..C4 cost model against the paper's worked numbers and
+// internal consistency properties.
+#include <gtest/gtest.h>
+
+#include "codes/lrc_code.h"
+#include "codes/sd_code.h"
+#include "decode/cost_model.h"
+#include "workload/scenario_gen.h"
+
+namespace ppm {
+namespace {
+
+TEST(CostModel, PaperFig2And3Numbers) {
+  // §II-B: C1 = 35, C2 = 31; §III-B: C3 = 37, C4 = 29, and the quoted
+  // 17.14% = (C1-C4)/C1 reduction.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const FailureScenario sc({2, 6, 10, 13, 14});
+  const auto costs = analyze_costs(code, sc);
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(costs->c1, 35u);
+  EXPECT_EQ(costs->c2, 31u);
+  EXPECT_EQ(costs->c3, 37u);
+  EXPECT_EQ(costs->c4, 29u);
+  EXPECT_EQ(costs->p, 3u);
+  EXPECT_EQ(costs->ppm_best(), 29u);
+  EXPECT_NEAR(static_cast<double>(costs->c1 - costs->c4) / costs->c1,
+              0.1714, 0.0005);
+}
+
+TEST(CostModel, UndecodableReturnsNullopt) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  EXPECT_FALSE(analyze_costs(code, FailureScenario({0, 1, 2})).has_value());
+}
+
+TEST(CostModel, EmptyScenarioIsFree) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const auto costs = analyze_costs(code, FailureScenario{});
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(costs->c1, 0u);
+  EXPECT_EQ(costs->p, 0u);
+}
+
+TEST(CostModel, C4NeverExceedsC1OnSdWorstCases) {
+  // §III-B: C1 - C4 = m^2 (z+1)(r-z) > 0 for every SD worst case.
+  for (const std::size_t n : {6u, 11u, 16u}) {
+    for (const std::size_t m : {1u, 2u}) {
+      for (const std::size_t s : {1u, 2u}) {
+        const SDCode code(n, 8, m, s, 8);
+        ScenarioGenerator gen(n * 100 + m * 10 + s);
+        const auto g = gen.sd_worst_case(code, m, s, 1);
+        const auto costs = analyze_costs(code, g.scenario);
+        ASSERT_TRUE(costs.has_value());
+        EXPECT_LT(costs->c4, costs->c1)
+            << "n=" << n << " m=" << m << " s=" << s;
+        EXPECT_LT(costs->c2, costs->c3);  // §III-B: C3 - C2 > 0
+      }
+    }
+  }
+}
+
+TEST(CostModel, RestEmptyMakesC3EqualC4) {
+  // One fault per stripe row: no dependent blocks, both PPM variants
+  // degenerate to the sum of the group costs.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const auto costs = analyze_costs(code, FailureScenario({0, 5, 10, 15}));
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(costs->c3, costs->c4);
+  EXPECT_EQ(costs->p, 4u);
+}
+
+TEST(CostModel, LrcLocalRepairCheaperThanGlobal) {
+  // A single data-strip failure decodes through its local group (k/l + 1
+  // survivors) — dramatically cheaper than a global equation (k + 1).
+  const LRCCode code(12, 3, 2, 8);
+  const auto costs = analyze_costs(code, FailureScenario({0}));
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(costs->p, 1u);
+  EXPECT_EQ(costs->ppm_best(), 4u);  // group size 4: 3 peers + local parity
+}
+
+TEST(CostModel, ParallelismDegreeMatchesPartition) {
+  const SDCode code(8, 8, 2, 2, 8);
+  ScenarioGenerator gen(77);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  const auto costs = analyze_costs(code, g.scenario);
+  ASSERT_TRUE(costs.has_value());
+  EXPECT_EQ(costs->p, 7u);  // r - z (paper §IV)
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,124 @@
+// Fuzz-style property tests over *random* parity-check codes.
+//
+// PPM's correctness argument (DESIGN.md §6) does not depend on any named
+// construction: for an arbitrary parity-check matrix, whenever the
+// traditional decode succeeds, PPM must succeed and produce identical
+// bytes. These tests generate random sparse codes and random failures and
+// check exactly that, plus the cost dominance min(C3,C4) <= C1 whenever a
+// partition exists.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+// A code defined by an arbitrary (random) parity-check matrix.
+class RandomCode : public ErasureCode {
+ public:
+  RandomCode(unsigned w, std::size_t blocks, std::size_t checks,
+             double density, Rng& rng)
+      : ErasureCode(gf::field(w), blocks, 1, checks, "random") {
+    const gf::Field& f = field();
+    for (;;) {
+      for (std::size_t i = 0; i < checks; ++i) {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const bool nz = rng.bounded(1000) < density * 1000;
+          h_(i, b) = nz ? static_cast<gf::Element>(
+                              1 + rng.bounded(f.max_element()))
+                        : 0;
+        }
+      }
+      if (h_.rank() != checks) continue;  // rank-deficient draw
+      // Designate the last `checks` columns as parity; the draw is only
+      // accepted when that restriction is invertible (encodable).
+      parity_.clear();
+      for (std::size_t b = blocks - checks; b < blocks; ++b) {
+        parity_.push_back(b);
+      }
+      const Matrix f = h_.select_columns(parity_);
+      if (f.rank() == f.cols()) break;
+    }
+  }
+};
+
+class RandomCodeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCodeFuzz, PpmAgreesWithTraditionalWheneverDecodable) {
+  Rng rng(7000 + GetParam());
+  const unsigned w = GetParam() % 2 == 0 ? 8 : 16;
+  const std::size_t blocks = 12 + rng.bounded(20);
+  const std::size_t checks = 3 + rng.bounded(6);
+  const double density = 0.25 + 0.05 * (GetParam() % 10);
+  RandomCode code(w, blocks, checks, density, rng);
+
+  const std::size_t block_bytes = 32 * code.field().symbol_bytes();
+  Stripe stripe(code, block_bytes);
+  const auto snap = test::fill_and_encode(code, stripe, 7100 + GetParam());
+
+  const TraditionalDecoder trad(code);
+  const PpmDecoder ppm_dec(code);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random failure of random size (possibly undecodable).
+    const std::size_t count = 1 + rng.bounded(checks + 1);
+    std::vector<std::size_t> faulty;
+    while (faulty.size() < count) {
+      const std::size_t b = rng.bounded(blocks);
+      if (std::find(faulty.begin(), faulty.end(), b) == faulty.end()) {
+        faulty.push_back(b);
+      }
+    }
+    const FailureScenario sc(faulty);
+
+    std::memcpy(stripe.block(0), snap.data(), snap.size());
+    stripe.erase(sc);
+    const auto tr = trad.decode(sc, stripe.block_ptrs(), block_bytes);
+    const bool trad_ok = tr.has_value() && stripe.equals(snap);
+
+    std::memcpy(stripe.block(0), snap.data(), snap.size());
+    stripe.erase(sc);
+    const auto pr = ppm_dec.decode(sc, stripe.block_ptrs(), block_bytes);
+    const bool ppm_ok = pr.has_value() && stripe.equals(snap);
+
+    // Agreement on decodability and on bytes.
+    ASSERT_EQ(tr.has_value(), pr.has_value()) << "trial " << trial;
+    if (tr.has_value()) {
+      ASSERT_TRUE(trad_ok) << "trial " << trial;
+      ASSERT_TRUE(ppm_ok) << "trial " << trial;
+      // The realized PPM cost is exactly what the cost model predicts.
+      const auto costs = analyze_costs(code, sc);
+      ASSERT_TRUE(costs.has_value());
+      EXPECT_EQ(pr->stats.mult_xors, costs->ppm_best()) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCodeFuzz, ::testing::Range(0, 24));
+
+TEST(RandomCodeFuzz, CostModelConsistentOnRandomCodes) {
+  Rng rng(7777);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomCode code(8, 16 + rng.bounded(10), 4 + rng.bounded(4), 0.4, rng);
+    std::vector<std::size_t> faulty;
+    const std::size_t count = 1 + rng.bounded(4);
+    while (faulty.size() < count) {
+      const std::size_t b = rng.bounded(code.total_blocks());
+      if (std::find(faulty.begin(), faulty.end(), b) == faulty.end()) {
+        faulty.push_back(b);
+      }
+    }
+    const FailureScenario sc(faulty);
+    const auto costs = analyze_costs(code, sc);
+    if (!costs.has_value()) continue;
+    // Relations that hold by construction.
+    EXPECT_EQ(costs->ppm_best(), std::min(costs->c3, costs->c4));
+    EXPECT_GT(costs->c1, 0u);
+    EXPECT_GT(costs->c2, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,172 @@
+// Scalar Galois-field arithmetic: axioms, known values, inverses, powers.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/galois_field.h"
+
+namespace ppm::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<unsigned> {
+ protected:
+  const Field& f() const { return field(GetParam()); }
+  Element random_element(Rng& rng) const {
+    return static_cast<Element>(rng.next()) & f().max_element();
+  }
+};
+
+TEST_P(FieldAxioms, WidthAndSymbolBytes) {
+  EXPECT_EQ(f().w(), GetParam());
+  EXPECT_EQ(f().symbol_bytes(), GetParam() / 8);
+}
+
+TEST_P(FieldAxioms, MaxElementIsAllOnes) {
+  if (GetParam() == 32) {
+    EXPECT_EQ(f().max_element(), 0xFFFFFFFFu);
+  } else {
+    EXPECT_EQ(f().max_element(), (Element{1} << GetParam()) - 1);
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationByZeroAndOne) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Element a = random_element(rng);
+    EXPECT_EQ(f().mul(a, 0), 0u);
+    EXPECT_EQ(f().mul(0, a), 0u);
+    EXPECT_EQ(f().mul(a, 1), a);
+    EXPECT_EQ(f().mul(1, a), a);
+  }
+}
+
+TEST_P(FieldAxioms, Commutativity) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Element a = random_element(rng);
+    const Element b = random_element(rng);
+    EXPECT_EQ(f().mul(a, b), f().mul(b, a));
+  }
+}
+
+TEST_P(FieldAxioms, Associativity) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Element a = random_element(rng);
+    const Element b = random_element(rng);
+    const Element c = random_element(rng);
+    EXPECT_EQ(f().mul(f().mul(a, b), c), f().mul(a, f().mul(b, c)));
+  }
+}
+
+TEST_P(FieldAxioms, DistributivityOverXor) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Element a = random_element(rng);
+    const Element b = random_element(rng);
+    const Element c = random_element(rng);
+    EXPECT_EQ(f().mul(a, b ^ c), f().mul(a, b) ^ f().mul(a, c));
+  }
+}
+
+TEST_P(FieldAxioms, InverseRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Element a = random_element(rng);
+    if (a == 0) a = 1;
+    EXPECT_EQ(f().mul(a, f().inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(FieldAxioms, DivisionInvertsMultiplication) {
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const Element a = random_element(rng);
+    Element b = random_element(rng);
+    if (b == 0) b = 1;
+    EXPECT_EQ(f().div(f().mul(a, b), b), a);
+  }
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMultiplication) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Element a = random_element(rng);
+    Element prod = 1;
+    for (unsigned e = 0; e < 16; ++e) {
+      EXPECT_EQ(f().pow(a, e), prod) << "a=" << a << " e=" << e;
+      prod = f().mul(prod, a);
+    }
+  }
+}
+
+TEST_P(FieldAxioms, Exp2MatchesPowOfTwo) {
+  for (unsigned e = 0; e < 64; ++e) {
+    EXPECT_EQ(f().exp2(e), f().pow(2, e)) << "e=" << e;
+  }
+}
+
+TEST_P(FieldAxioms, Exp2PeriodIsGroupOrder) {
+  const std::uint64_t order = f().max_element();  // 2^w - 1
+  EXPECT_EQ(f().exp2(order), 1u);
+  EXPECT_EQ(f().exp2(order + 5), f().exp2(5));
+}
+
+TEST_P(FieldAxioms, TwoIsPrimitiveSpotCheck) {
+  // alpha = 2 generates the group: powers over a window are distinct and
+  // never zero. (Full distinctness is the period test; this guards against
+  // degenerate table construction.)
+  const unsigned window = GetParam() == 8 ? 255 : 4096;
+  std::vector<Element> seen;
+  Element x = 1;
+  for (unsigned i = 0; i < window; ++i) {
+    ASSERT_NE(x, 0u);
+    seen.push_back(x);
+    x = f().mul(x, 2);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, FieldAxioms,
+                         ::testing::Values(8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(FieldRegistry, RejectsUnsupportedWidths) {
+  EXPECT_THROW(field(4), std::invalid_argument);
+  EXPECT_THROW(field(12), std::invalid_argument);
+  EXPECT_THROW(field(64), std::invalid_argument);
+}
+
+TEST(FieldRegistry, SingletonsAreStable) {
+  EXPECT_EQ(&field(8), &field(8));
+  EXPECT_EQ(&field(16), &field(16));
+  EXPECT_EQ(&field(32), &field(32));
+}
+
+// Known values against the standard polynomials.
+TEST(Gf8KnownValues, PolynomialReduction) {
+  const Field& f = field(8);
+  // x^7 * x = x^8 = x^4 + x^3 + x^2 + 1 (poly 0x11D)
+  EXPECT_EQ(f.mul(0x80, 2), 0x1Du);
+  EXPECT_EQ(f.mul(2, 2), 4u);
+  // The paper's Fig. 2 coefficients rely on powers of 2 below n*r = 16
+  // being distinct (none may wrap to 1 early).
+  for (unsigned i = 1; i < 16; ++i) EXPECT_NE(f.exp2(i), 1u);
+}
+
+TEST(Gf16KnownValues, PolynomialReduction) {
+  const Field& f = field(16);
+  // x^15 * x = x^16 = x^12 + x^3 + x + 1 (poly 0x1100B)
+  EXPECT_EQ(f.mul(0x8000, 2), 0x100Bu);
+}
+
+TEST(Gf32KnownValues, PolynomialReduction) {
+  const Field& f = field(32);
+  // x^31 * x = x^32 = x^22 + x^2 + x + 1 (poly 0x100400007)
+  EXPECT_EQ(f.mul(0x80000000u, 2), 0x400007u);
+}
+
+}  // namespace
+}  // namespace ppm::gf

@@ -1,0 +1,61 @@
+// The log table of §III-A, checked against the paper's Fig. 3 worked
+// example.
+#include <gtest/gtest.h>
+
+#include "codes/sd_code.h"
+#include "decode/log_table.h"
+
+namespace ppm {
+namespace {
+
+TEST(LogTable, Fig3Example) {
+  // SD^{1,1}_{4,4}(8|1,2), faults {2, 6, 10, 13, 14}: the paper's table is
+  //   (0, 1, (2)), (1, 1, (6)), (2, 1, (10)), (3, 2, (13,14)),
+  //   (4, 5, (2,6,10,13,14)).
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const std::vector<std::size_t> faulty{2, 6, 10, 13, 14};
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+
+  ASSERT_EQ(table.rows.size(), 5u);
+  EXPECT_EQ(table.rows[0].row, 0u);
+  EXPECT_EQ(table.rows[0].t(), 1u);
+  EXPECT_EQ(table.rows[0].faulty_cols, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(table.rows[1].faulty_cols, (std::vector<std::size_t>{6}));
+  EXPECT_EQ(table.rows[2].faulty_cols, (std::vector<std::size_t>{10}));
+  EXPECT_EQ(table.rows[3].t(), 2u);
+  EXPECT_EQ(table.rows[3].faulty_cols, (std::vector<std::size_t>{13, 14}));
+  EXPECT_EQ(table.rows[4].t(), 5u);
+  EXPECT_EQ(table.rows[4].faulty_cols,
+            (std::vector<std::size_t>{2, 6, 10, 13, 14}));
+}
+
+TEST(LogTable, RowsWithoutFaultsHaveZeroT) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  // Only block 0 fails: rows 1..3 (other stripe rows) have t = 0.
+  const std::vector<std::size_t> faulty{0};
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  EXPECT_EQ(table.rows[0].t(), 1u);
+  EXPECT_EQ(table.rows[1].t(), 0u);
+  EXPECT_EQ(table.rows[2].t(), 0u);
+  EXPECT_EQ(table.rows[3].t(), 0u);
+  EXPECT_EQ(table.rows[4].t(), 1u);  // the global row always sees the fault
+}
+
+TEST(LogTable, EmptyFaultSet) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const LogTable table = LogTable::build(code.parity_check(), {});
+  for (const LogRow& row : table.rows) EXPECT_EQ(row.t(), 0u);
+}
+
+TEST(LogTable, ColumnsAreSortedPerRow) {
+  const SDCode code(6, 4, 2, 2, 8);
+  const std::vector<std::size_t> faulty{1, 5, 9, 13, 17, 21};
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  for (const LogRow& row : table.rows) {
+    EXPECT_TRUE(
+        std::is_sorted(row.faulty_cols.begin(), row.faulty_cols.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ppm

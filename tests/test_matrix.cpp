@@ -1,0 +1,175 @@
+// Dense GF matrix algebra: construction, products, inverses, rank, census.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "matrix/matrix.h"
+
+namespace ppm {
+namespace {
+
+Matrix random_matrix(const gf::Field& f, std::size_t rows, std::size_t cols,
+                     Rng& rng) {
+  Matrix m(f, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<gf::Element>(rng.next()) & f.max_element();
+    }
+  }
+  return m;
+}
+
+TEST(MatrixBasics, ZeroInitialized) {
+  const Matrix m(gf::field(8), 3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+TEST(MatrixBasics, InitializerListRowMajor) {
+  const Matrix m(gf::field(8), 2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1u);
+  EXPECT_EQ(m(0, 2), 3u);
+  EXPECT_EQ(m(1, 0), 4u);
+  EXPECT_EQ(m(1, 2), 6u);
+}
+
+TEST(MatrixBasics, InitializerListSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(gf::field(8), 2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(MatrixBasics, IdentityProperties) {
+  const auto id = Matrix::identity(gf::field(8), 5);
+  EXPECT_EQ(id.nonzeros(), 5u);
+  EXPECT_EQ(id.rank(), 5u);
+  EXPECT_EQ(*id.inverse(), id);
+}
+
+TEST(MatrixProduct, IdentityIsNeutral) {
+  Rng rng(21);
+  const auto m = random_matrix(gf::field(8), 4, 6, rng);
+  EXPECT_EQ(Matrix::identity(gf::field(8), 4) * m, m);
+  EXPECT_EQ(m * Matrix::identity(gf::field(8), 6), m);
+}
+
+TEST(MatrixProduct, DimensionMismatchThrows) {
+  const Matrix a(gf::field(8), 2, 3);
+  const Matrix b(gf::field(8), 2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(MatrixProduct, KnownSmallProduct) {
+  const gf::Field& f = gf::field(8);
+  const Matrix a(f, 2, 2, {1, 2, 3, 4});
+  const Matrix b(f, 2, 2, {5, 6, 7, 8});
+  Matrix expect(f, 2, 2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      expect(i, j) = f.mul(a(i, 0), b(0, j)) ^ f.mul(a(i, 1), b(1, j));
+    }
+  }
+  EXPECT_EQ(a * b, expect);
+}
+
+class MatrixInverseTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(MatrixInverseTest, RandomInvertibleRoundTrip) {
+  const auto [w, n] = GetParam();
+  const gf::Field& f = gf::field(w);
+  Rng rng(22 + w + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix m = random_matrix(f, n, n, rng);
+    const auto inv = m.inverse();
+    if (!inv.has_value()) continue;  // rare singular draw: skip
+    EXPECT_EQ(m * *inv, Matrix::identity(f, n));
+    EXPECT_EQ(*inv * m, Matrix::identity(f, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatrixInverseTest,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{5}, std::size_t{16},
+                                         std::size_t{40})),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MatrixInverse, SingularReturnsNullopt) {
+  const gf::Field& f = gf::field(8);
+  Matrix m(f, 3, 3, {1, 2, 3, 2, 4, 6, 7, 8, 9});  // row1 = 2 * row0
+  EXPECT_FALSE(m.inverse().has_value());
+  EXPECT_LT(m.rank(), 3u);
+}
+
+TEST(MatrixInverse, ZeroMatrixIsSingular) {
+  EXPECT_FALSE(Matrix(gf::field(8), 4, 4).inverse().has_value());
+}
+
+TEST(MatrixInverse, NonSquareThrows) {
+  EXPECT_THROW(Matrix(gf::field(8), 2, 3).inverse(), std::invalid_argument);
+}
+
+TEST(MatrixInverse, RequiresRowSwaps) {
+  // Zero on the diagonal forces pivoting.
+  const gf::Field& f = gf::field(8);
+  const Matrix m(f, 2, 2, {0, 1, 1, 0});
+  const auto inv = m.inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(m * *inv, Matrix::identity(f, 2));
+}
+
+TEST(MatrixRank, RectangularRanks) {
+  const gf::Field& f = gf::field(8);
+  Matrix m(f, 2, 4, {1, 0, 2, 0, 0, 1, 0, 3});
+  EXPECT_EQ(m.rank(), 2u);
+  Matrix tall(f, 4, 2, {1, 2, 2, 4, 3, 6, 0, 0});  // all rows multiples
+  EXPECT_EQ(tall.rank(), 1u);
+}
+
+TEST(MatrixCensus, NonzerosCountsExactly) {
+  Matrix m(gf::field(8), 2, 3, {0, 1, 0, 2, 0, 3});
+  EXPECT_EQ(m.nonzeros(), 3u);
+}
+
+TEST(MatrixCensus, ColumnIsZero) {
+  Matrix m(gf::field(8), 2, 3, {0, 1, 0, 0, 0, 3});
+  EXPECT_TRUE(m.column_is_zero(0));
+  EXPECT_FALSE(m.column_is_zero(1));
+  EXPECT_FALSE(m.column_is_zero(2));
+}
+
+TEST(MatrixSelect, ColumnsPreserveOrder) {
+  Matrix m(gf::field(8), 2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<std::size_t> cols{3, 0};
+  const Matrix sel = m.select_columns(cols);
+  EXPECT_EQ(sel(0, 0), 4u);
+  EXPECT_EQ(sel(0, 1), 1u);
+  EXPECT_EQ(sel(1, 0), 8u);
+  EXPECT_EQ(sel(1, 1), 5u);
+}
+
+TEST(MatrixSelect, RowsPreserveOrder) {
+  Matrix m(gf::field(8), 3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> rows{2, 0};
+  const Matrix sel = m.select_rows(rows);
+  EXPECT_EQ(sel(0, 0), 5u);
+  EXPECT_EQ(sel(1, 1), 2u);
+}
+
+TEST(MatrixSelect, SelectionComposesWithProduct) {
+  // (A * B) restricted to columns == A * (B restricted to columns).
+  Rng rng(23);
+  const gf::Field& f = gf::field(16);
+  const auto a = random_matrix(f, 4, 5, rng);
+  const auto b = random_matrix(f, 5, 6, rng);
+  const std::vector<std::size_t> cols{0, 2, 5};
+  EXPECT_EQ((a * b).select_columns(cols), a * b.select_columns(cols));
+}
+
+}  // namespace
+}  // namespace ppm

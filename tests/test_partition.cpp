@@ -1,0 +1,191 @@
+// Partitioning (§III-A): the Fig. 3 example and the paper's case analysis
+// (§III-C cases 1 through 4), plus the correctness-preserving deviations
+// documented in decode/partition.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "codes/lrc_code.h"
+#include "codes/sd_code.h"
+#include "decode/log_table.h"
+#include "decode/partition.h"
+#include "decode/plan.h"
+
+namespace ppm {
+namespace {
+
+Partition partition_of(const ErasureCode& code,
+                       std::vector<std::size_t> faulty) {
+  std::sort(faulty.begin(), faulty.end());
+  const LogTable table = LogTable::build(code.parity_check(), faulty);
+  return make_partition(code.parity_check(), table);
+}
+
+TEST(Partition, Fig3Example) {
+  // Faults {2,6,10,13,14} -> p = 3 singleton groups from rows 0,1,2; rows
+  // 3 and 4 form H_rest recovering {13, 14}.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const Partition part = partition_of(code, {2, 6, 10, 13, 14});
+
+  ASSERT_EQ(part.p(), 3u);
+  EXPECT_EQ(part.groups[0].faulty_cols, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(part.groups[0].rows, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(part.groups[1].faulty_cols, (std::vector<std::size_t>{6}));
+  EXPECT_EQ(part.groups[1].rows, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(part.groups[2].faulty_cols, (std::vector<std::size_t>{10}));
+  EXPECT_EQ(part.groups[2].rows, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(part.rest_rows, (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(part.rest_faulty, (std::vector<std::size_t>{13, 14}));
+}
+
+TEST(Partition, Case1NoIndependentSubmatrix) {
+  // All faults in one stripe row of an m=1 code, more faults than row
+  // equations can separate: every check row touching them shares nothing.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  // Faults {0,1}: row 0 has signature {0,1}, global row {0,1} too ->
+  // bucket of size 2 with t=2 -> it IS a group; pick a case that isn't:
+  // faults {0, 1, 2}: row 0 signature {0,1,2}, global {0,1,2}; only two
+  // rows for t=3 -> p=0.
+  const Partition part = partition_of(code, {0, 1, 2});
+  EXPECT_EQ(part.p(), 0u);
+  EXPECT_EQ(part.rest_faulty, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(part.rest_rows, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(Partition, Case2SingleIndependentSubmatrix) {
+  // One fault: row 0 and the global row both have signature {0}; that
+  // bucket yields one group (the surplus row is consumed as redundant).
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const Partition part = partition_of(code, {0});
+  ASSERT_EQ(part.p(), 1u);
+  EXPECT_EQ(part.groups[0].faulty_cols, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(part.rest_empty());
+  EXPECT_TRUE(part.rest_rows.empty());
+}
+
+TEST(Partition, Case31NoRest) {
+  // One fault per stripe row (distinct rows): every fault is independent,
+  // H_rest is empty but the global row is consumed by nothing — it still
+  // touches all faults, so it lands in no group; with all faults covered it
+  // must be dropped from rest.
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const Partition part = partition_of(code, {0, 5, 10, 15});
+  EXPECT_EQ(part.p(), 4u);
+  EXPECT_TRUE(part.rest_empty());
+  EXPECT_TRUE(part.rest_rows.empty());
+}
+
+TEST(Partition, Case4MaximumParallelism) {
+  // LRC with one fault in each local group and nothing else: p equals the
+  // number of groups and H_rest is empty (every global row touches all
+  // faults but those are covered).
+  const LRCCode code(8, 4, 2, 8);
+  const Partition part = partition_of(code, {0, 2, 4, 6});
+  EXPECT_EQ(part.p(), 4u);
+  EXPECT_TRUE(part.rest_empty());
+}
+
+TEST(Partition, PairGroupFromMatchingSignatures) {
+  // m=2 SD code, two faults in the same stripe row: both row equations
+  // have signature {f1, f2} -> a 2x2 independent group.
+  const SDCode code(6, 4, 2, 1, 8);
+  const Partition part = partition_of(code, {0, 3});
+  ASSERT_EQ(part.p(), 1u);
+  EXPECT_EQ(part.groups[0].faulty_cols, (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(part.groups[0].rows, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(part.rest_empty());
+}
+
+TEST(Partition, GroupsAreDisjoint) {
+  const SDCode code(6, 8, 2, 2, 8);
+  const Partition part = partition_of(code, {0, 1, 8, 14, 20, 27, 33, 40});
+  std::set<std::size_t> seen;
+  for (const IndependentGroup& g : part.groups) {
+    EXPECT_EQ(g.rows.size(), g.faulty_cols.size());
+    for (const std::size_t c : g.faulty_cols) {
+      EXPECT_TRUE(seen.insert(c).second) << "block " << c << " twice";
+    }
+  }
+  for (const std::size_t c : part.rest_faulty) {
+    EXPECT_TRUE(seen.insert(c).second);
+  }
+}
+
+TEST(Partition, GroupRowsTouchNoForeignFaults) {
+  // Definition of independence: a group row's faulty columns are exactly
+  // the group's blocks.
+  const SDCode code(8, 8, 2, 3, 8);
+  const std::vector<std::size_t> faulty{1, 9, 17, 25, 33, 41, 49, 57, 12, 20,
+                                        28};
+  const Partition part = partition_of(code, faulty);
+  std::vector<std::size_t> sorted_faulty(faulty);
+  std::sort(sorted_faulty.begin(), sorted_faulty.end());
+  const Matrix& h = code.parity_check();
+  for (const IndependentGroup& g : part.groups) {
+    for (const std::size_t row : g.rows) {
+      for (const std::size_t c : sorted_faulty) {
+        const bool in_group = std::binary_search(g.faulty_cols.begin(),
+                                                 g.faulty_cols.end(), c);
+        if (!in_group) {
+          EXPECT_EQ(h(row, c), 0u) << "row " << row << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, RestRowsAllTouchRestFaults) {
+  const SDCode code(6, 4, 1, 2, 8);
+  const Partition part = partition_of(code, {0, 7, 13, 14, 20});
+  const Matrix& h = code.parity_check();
+  for (const std::size_t row : part.rest_rows) {
+    bool touches = false;
+    for (const std::size_t c : part.rest_faulty) touches |= (h(row, c) != 0);
+    EXPECT_TRUE(touches) << "useless rest row " << row;
+  }
+}
+
+TEST(Partition, SdParallelismEqualsRMinusZ) {
+  // Paper §IV: for SD codes with the worst-case failure pattern, p = r - z.
+  const SDCode code(8, 8, 2, 2, 8);
+  // 2 failed disks (0, 1) and s=2 sectors in z=1 row (row 7, disks 2 and 3).
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < 8; ++i) {
+    faulty.push_back(i * 8 + 0);
+    faulty.push_back(i * 8 + 1);
+  }
+  faulty.push_back(7 * 8 + 2);
+  faulty.push_back(7 * 8 + 3);
+  const Partition part = partition_of(code, faulty);
+  EXPECT_EQ(part.p(), 7u);  // r - z = 8 - 1
+  EXPECT_FALSE(part.rest_empty());
+}
+
+TEST(Partition, ZeroColumnFaultSurfacesAsDependent) {
+  // Regression (found by the random-code fuzzer): a faulty block whose H
+  // column is all zero appears in no log-table row; it must still surface
+  // in rest_faulty so the decode fails instead of silently skipping it.
+  const gf::Field& f = gf::field(8);
+  Matrix h(f, 2, 4, {1, 1, 0, 0, 0, 1, 0, 1});  // column 2 is all zero
+  const std::vector<std::size_t> faulty{0, 2};
+  const LogTable table = LogTable::build(h, faulty);
+  const Partition part = make_partition(h, table);
+  EXPECT_TRUE(std::binary_search(part.rest_faulty.begin(),
+                                 part.rest_faulty.end(), 2u));
+  // And the resulting rest system is correctly unsolvable.
+  EXPECT_FALSE(SubPlan::make(h, part.rest_rows, part.rest_faulty,
+                             part.rest_faulty, Sequence::kNormal)
+                   .has_value());
+}
+
+TEST(Partition, EmptyFaultSetYieldsEmptyPartition) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const Partition part = partition_of(code, {});
+  EXPECT_EQ(part.p(), 0u);
+  EXPECT_TRUE(part.rest_empty());
+  EXPECT_TRUE(part.rest_rows.empty());
+}
+
+}  // namespace
+}  // namespace ppm

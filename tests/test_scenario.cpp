@@ -1,0 +1,46 @@
+// FailureScenario semantics.
+#include <gtest/gtest.h>
+
+#include "codes/sd_code.h"
+#include "decode/scenario.h"
+
+namespace ppm {
+namespace {
+
+TEST(FailureScenario, SortsAndDeduplicates) {
+  const FailureScenario sc({7, 2, 7, 4, 2});
+  EXPECT_EQ(std::vector<std::size_t>(sc.faulty().begin(), sc.faulty().end()),
+            (std::vector<std::size_t>{2, 4, 7}));
+  EXPECT_EQ(sc.count(), 3u);
+}
+
+TEST(FailureScenario, ContainsAndIndexOf) {
+  const FailureScenario sc({2, 6, 10, 13, 14});
+  EXPECT_TRUE(sc.contains(10));
+  EXPECT_FALSE(sc.contains(11));
+  EXPECT_EQ(sc.index_of(2), 0u);
+  EXPECT_EQ(sc.index_of(13), 3u);
+  EXPECT_EQ(sc.index_of(14), 4u);
+}
+
+TEST(FailureScenario, EmptyScenario) {
+  const FailureScenario sc;
+  EXPECT_TRUE(sc.empty());
+  EXPECT_EQ(sc.count(), 0u);
+  EXPECT_FALSE(sc.contains(0));
+}
+
+TEST(FailureScenario, EncodingOfListsAllParityBlocks) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  const auto sc = FailureScenario::encoding_of(code);
+  EXPECT_EQ(std::vector<std::size_t>(sc.faulty().begin(), sc.faulty().end()),
+            (std::vector<std::size_t>{3, 7, 11, 14, 15}));
+}
+
+TEST(FailureScenario, Equality) {
+  EXPECT_EQ(FailureScenario({1, 2}), FailureScenario({2, 1, 1}));
+  EXPECT_NE(FailureScenario({1, 2}), FailureScenario({1, 3}));
+}
+
+}  // namespace
+}  // namespace ppm

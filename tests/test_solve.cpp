@@ -1,0 +1,81 @@
+// Row selection for over-determined decoding systems.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/matrix.h"
+#include "matrix/solve.h"
+
+namespace ppm {
+namespace {
+
+TEST(IndependentRows, SquareInvertibleReturnsAllRows) {
+  const gf::Field& f = gf::field(8);
+  const Matrix m(f, 2, 2, {1, 2, 3, 4});
+  const auto sel = independent_rows(m);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IndependentRows, PrefersEarlierRows) {
+  const gf::Field& f = gf::field(8);
+  // Rows 0 and 1 already span; rows 2 and 3 are redundant copies.
+  const Matrix m(f, 4, 2, {1, 0, 0, 1, 1, 0, 0, 1});
+  const auto sel = independent_rows(m);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IndependentRows, SkipsDependentPrefix) {
+  const gf::Field& f = gf::field(8);
+  // Row 1 duplicates row 0; selection must reach row 2.
+  const Matrix m(f, 3, 2, {1, 2, 1, 2, 0, 1});
+  const auto sel = independent_rows(m);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, (std::vector<std::size_t>{0, 2}));
+  // The selected square submatrix really is invertible.
+  EXPECT_TRUE(m.select_rows(*sel).inverse().has_value());
+}
+
+TEST(IndependentRows, RankDeficientReturnsNullopt) {
+  const gf::Field& f = gf::field(8);
+  const Matrix m(f, 3, 2, {1, 2, 2, 4, 3, 6});  // all rows parallel
+  EXPECT_FALSE(independent_rows(m).has_value());
+}
+
+TEST(IndependentRows, WideMatrixReturnsNullopt) {
+  EXPECT_FALSE(independent_rows(Matrix(gf::field(8), 2, 3)).has_value());
+}
+
+TEST(IndependentRows, ZeroColumnsMatrix) {
+  // Degenerate but legal: zero unknowns need zero rows.
+  const auto sel = independent_rows(Matrix(gf::field(8), 3, 0));
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_TRUE(sel->empty());
+}
+
+TEST(IndependentRows, RandomTallSystemsSelectionIsInvertible) {
+  Rng rng(31);
+  const gf::Field& f = gf::field(16);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t cols = 1 + rng.bounded(8);
+    const std::size_t rows = cols + rng.bounded(6);
+    Matrix m(f, rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        m(r, c) = static_cast<gf::Element>(rng.next()) & f.max_element();
+      }
+    }
+    const auto sel = independent_rows(m);
+    if (m.rank() < cols) {
+      EXPECT_FALSE(sel.has_value());
+    } else {
+      ASSERT_TRUE(sel.has_value());
+      ASSERT_EQ(sel->size(), cols);
+      EXPECT_TRUE(std::is_sorted(sel->begin(), sel->end()));
+      EXPECT_TRUE(m.select_rows(*sel).inverse().has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,102 @@
+// Thread pool and task-group semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/cpu.h"
+#include "parallel/task_group.h"
+#include "parallel/thread_pool.h"
+
+namespace ppm {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.add([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+  EXPECT_EQ(ThreadPool::shared().size(), hardware_threads());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  // All queued work ran before the pool tore down.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TaskGroup, WaitIsReusable) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  group.add([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+  group.add([&counter] { counter.fetch_add(1); });
+  group.add([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(TaskGroup, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.wait();  // must not block
+  SUCCEED();
+}
+
+TEST(TaskGroup, ManyConcurrentGroupsOnSharedPool) {
+  std::atomic<int> counter{0};
+  {
+    TaskGroup g1(ThreadPool::shared());
+    TaskGroup g2(ThreadPool::shared());
+    for (int i = 0; i < 32; ++i) {
+      g1.add([&counter] { counter.fetch_add(1); });
+      g2.add([&counter] { counter.fetch_add(1); });
+    }
+    g1.wait();
+    g2.wait();
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  TaskGroup group(pool);
+  for (int i = 1; i <= 2000; ++i) {
+    group.add([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(sum.load(), 2000LL * 2001 / 2);
+}
+
+}  // namespace
+}  // namespace ppm

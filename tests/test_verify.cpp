@@ -1,0 +1,91 @@
+// Syndrome-based stripe consistency checking and corruption localization.
+#include <gtest/gtest.h>
+
+#include "codes/lrc_code.h"
+#include "codes/sd_code.h"
+#include "test_util.h"
+#include "workload/verify.h"
+
+namespace ppm {
+namespace {
+
+TEST(Verify, FreshlyEncodedStripeIsConsistent) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 500);
+  EXPECT_TRUE(stripe_consistent(code, stripe.block_ptrs(), 512));
+  EXPECT_TRUE(violated_checks(code, stripe.block_ptrs(), 512).empty());
+}
+
+TEST(Verify, UnencodedStripeIsInconsistent) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 512);
+  Rng rng(501);
+  stripe.fill_data(rng);  // parities still zero
+  EXPECT_FALSE(stripe_consistent(code, stripe.block_ptrs(), 512));
+}
+
+TEST(Verify, SingleByteCorruptionDetected) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 502);
+  stripe.block(7)[100] ^= 0x01;  // one flipped bit
+  EXPECT_FALSE(stripe_consistent(code, stripe.block_ptrs(), 512));
+}
+
+TEST(Verify, ViolatedChecksMatchBlockSignature) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 503);
+  const std::size_t victim = 8;  // row 1, disk 2
+  stripe.block(victim)[0] ^= 0xFF;
+  const auto violated = violated_checks(code, stripe.block_ptrs(), 512);
+  // Exactly the rows whose column for the victim is nonzero must trip.
+  std::vector<std::size_t> expect;
+  const Matrix& h = code.parity_check();
+  for (std::size_t row = 0; row < h.rows(); ++row) {
+    if (h(row, victim) != 0) expect.push_back(row);
+  }
+  EXPECT_EQ(violated, expect);
+}
+
+TEST(Verify, LocateSingleCorruption) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 504);
+  const std::size_t victim = 14;
+  stripe.block(victim)[3] ^= 0x40;
+  const auto candidates =
+      locate_single_corruption(code, stripe.block_ptrs(), 512);
+  // The victim must be among the candidates (its whole stripe row shares
+  // the same check signature, so siblings can appear too).
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), victim),
+            candidates.end());
+  // Every candidate lives in the same stripe row as the victim.
+  for (const std::size_t c : candidates) {
+    EXPECT_EQ(c / code.disks(), victim / code.disks());
+  }
+}
+
+TEST(Verify, LocateReturnsEmptyOnCleanStripe) {
+  const LRCCode code(8, 2, 2, 8);
+  Stripe stripe(code, 256);
+  test::fill_and_encode(code, stripe, 505);
+  EXPECT_TRUE(locate_single_corruption(code, stripe.block_ptrs(), 256).empty());
+}
+
+TEST(Verify, ConsistencyRestoredAfterDecode) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Stripe stripe(code, 512);
+  test::fill_and_encode(code, stripe, 506);
+  ScenarioGenerator gen(507);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  stripe.erase(g.scenario);
+  EXPECT_FALSE(stripe_consistent(code, stripe.block_ptrs(), 512));
+  const PpmDecoder dec(code);
+  ASSERT_TRUE(dec.decode(g.scenario, stripe.block_ptrs(), 512));
+  EXPECT_TRUE(stripe_consistent(code, stripe.block_ptrs(), 512));
+}
+
+}  // namespace
+}  // namespace ppm

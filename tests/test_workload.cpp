@@ -1,0 +1,158 @@
+// Stripe buffers and the paper-faithful scenario generator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "codes/lrc_code.h"
+#include "codes/rs_code.h"
+#include "codes/sd_code.h"
+#include "workload/scenario_gen.h"
+#include "workload/stripe.h"
+
+namespace ppm {
+namespace {
+
+TEST(Stripe, LayoutAndAlignment) {
+  const SDCode code(6, 4, 2, 2, 8);
+  Stripe stripe(code, 4096);
+  EXPECT_EQ(stripe.block_bytes(), 4096u);
+  EXPECT_EQ(stripe.stripe_bytes(), 4096u * 24);
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(stripe.block(b)) % 64, 0u)
+        << "block " << b;
+  }
+}
+
+TEST(Stripe, RejectsBadBlockSizes) {
+  const SDCode code(24, 16, 2, 2, 16);  // w=16: symbols are 2 bytes
+  EXPECT_THROW(Stripe(code, 0), std::invalid_argument);
+  EXPECT_THROW(Stripe(code, 4095), std::invalid_argument);  // odd
+}
+
+TEST(Stripe, FillZeroesParityAndRandomizesData) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Stripe stripe(code, 256);
+  Rng rng(81);
+  stripe.fill_data(rng);
+  const std::vector<std::uint8_t> zeros(256, 0);
+  for (const std::size_t b : code.parity_blocks()) {
+    EXPECT_EQ(std::memcmp(stripe.block(b), zeros.data(), 256), 0);
+  }
+  // Data blocks are almost surely nonzero.
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < 256; ++i) any_nonzero |= (stripe.block(0)[i] != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Stripe, EraseAndSnapshotRoundTrip) {
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Stripe stripe(code, 128);
+  Rng rng(82);
+  stripe.fill_data(rng);
+  const auto snap = stripe.snapshot();
+  EXPECT_TRUE(stripe.equals(snap));
+  stripe.erase(FailureScenario({2, 6}));
+  EXPECT_FALSE(stripe.equals(snap));
+  EXPECT_FALSE(stripe.blocks_equal(snap, std::vector<std::size_t>{2}));
+  EXPECT_TRUE(stripe.blocks_equal(snap, std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ScenarioGen, SdWorstCaseShape) {
+  const SDCode code(8, 8, 2, 2, 8);
+  ScenarioGenerator gen(83);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = gen.sd_worst_case(code, 2, 2, 1);
+    EXPECT_EQ(g.scenario.count(), 2u * 8 + 2);
+    // Exactly 2 whole disks fail.
+    std::map<std::size_t, std::size_t> per_disk;
+    for (const std::size_t b : g.scenario.faulty()) per_disk[b % 8]++;
+    std::size_t whole = 0;
+    std::set<std::size_t> sector_rows;
+    for (const auto& [disk, cnt] : per_disk) {
+      if (cnt == 8) {
+        ++whole;
+      } else {
+        for (const std::size_t b : g.scenario.faulty()) {
+          if (b % 8 == disk) sector_rows.insert(b / 8);
+        }
+      }
+    }
+    EXPECT_EQ(whole, 2u);
+    EXPECT_EQ(sector_rows.size(), 1u);  // z = 1
+  }
+}
+
+TEST(ScenarioGen, SdSectorsConfinedToZRows) {
+  const SDCode code(8, 8, 1, 3, 8);
+  ScenarioGenerator gen(84);
+  for (const std::size_t z : {1u, 2u, 3u}) {
+    const auto g = gen.sd_worst_case(code, 1, 3, z);
+    std::map<std::size_t, std::size_t> per_disk;
+    for (const std::size_t b : g.scenario.faulty()) per_disk[b % 8]++;
+    std::set<std::size_t> rows;
+    for (const std::size_t b : g.scenario.faulty()) {
+      if (per_disk[b % 8] < 8) rows.insert(b / 8);
+    }
+    EXPECT_EQ(rows.size(), z);
+  }
+}
+
+TEST(ScenarioGen, DeterministicUnderSeed) {
+  const SDCode code(8, 8, 2, 2, 8);
+  ScenarioGenerator a(85);
+  ScenarioGenerator b(85);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.sd_worst_case(code, 2, 2, 1).scenario,
+              b.sd_worst_case(code, 2, 2, 1).scenario);
+  }
+}
+
+TEST(ScenarioGen, InvalidParametersThrow) {
+  const SDCode code(8, 8, 2, 2, 8);
+  ScenarioGenerator gen(86);
+  EXPECT_THROW(gen.sd_worst_case(code, 2, 2, 3), std::invalid_argument);
+  EXPECT_THROW(gen.sd_worst_case(code, 8, 2, 1), std::invalid_argument);
+}
+
+TEST(ScenarioGen, LrcOneFailurePerGroup) {
+  const LRCCode code(12, 3, 2, 8);
+  ScenarioGenerator gen(87);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = gen.lrc_failures(code, 3, 0);
+    EXPECT_EQ(g.scenario.count(), 3u);
+    // Each failure sits in a distinct local group (or is its parity).
+    std::set<std::size_t> groups;
+    for (const std::size_t b : g.scenario.faulty()) {
+      if (b < code.k()) {
+        groups.insert(code.group_of(b));
+      } else {
+        groups.insert(b - code.k());  // local parity index
+      }
+    }
+    EXPECT_EQ(groups.size(), 3u);
+  }
+}
+
+TEST(ScenarioGen, LrcScenariosAreDecodable) {
+  const LRCCode code(12, 3, 2, 8);
+  ScenarioGenerator gen(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = gen.lrc_failures(code, 2, 1);
+    const Matrix f = code.parity_check().select_columns(g.scenario.faulty());
+    EXPECT_EQ(f.rank(), f.cols());
+  }
+}
+
+TEST(ScenarioGen, RsFailuresBounded) {
+  const RSCode code(10, 4, 8);
+  ScenarioGenerator gen(89);
+  const auto g = gen.rs_failures(code, 4);
+  EXPECT_EQ(g.scenario.count(), 4u);
+  EXPECT_EQ(g.redraws, 0u);
+  EXPECT_THROW(gen.rs_failures(code, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppm

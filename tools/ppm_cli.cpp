@@ -1,0 +1,306 @@
+// ppm_cli — command-line front end for the PPM library.
+//
+//   ppm_cli info     --code <family> [params]      code geometry + H census
+//   ppm_cli costs    --code <family> [params]      C1..C4 + partition shape
+//   ppm_cli bench    --code <family> [params]      traditional vs PPM timing
+//   ppm_cli selftest --code <family> [params]      encode/erase/decode/verify
+//   ppm_cli sim      --code <family> [params]      failure-stream simulation
+//
+// Families and their parameters (defaults in parentheses):
+//   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
+//   lrc      : --k (12) --l (3) --g (2)
+//   xorbas   : --k (10) --l (2) --g (4)
+//   rs       : --k (10) --m (4)
+//   crs      : --k (10) --m (4)
+//   evenodd, rdp, star : --p (7)
+// Common: --block <bytes> (65536), --reps (5), --threads (4), --faults
+// (family worst case) — number of whole-disk failures for the generic
+// generator.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ppm.h"
+
+using namespace ppm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::size_t get(const std::string& key, std::size_t fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (key[0] == '-' && key[1] == '-') {
+      args.flags[key + 2] = argv[i + 1];
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<ErasureCode> make_code(const Args& args) {
+  const std::string family = args.get("code", "sd");
+  if (family == "sd" || family == "pmds") {
+    const std::size_t n = args.get("n", 8);
+    const std::size_t r = args.get("r", 16);
+    const std::size_t m = args.get("m", 2);
+    const std::size_t s = args.get("s", 2);
+    const unsigned w = static_cast<unsigned>(
+        args.get("w", SDCode::recommended_width(n, r)));
+    if (family == "sd") return std::make_unique<SDCode>(n, r, m, s, w);
+    return std::make_unique<PMDSCode>(n, r, m, s, w);
+  }
+  if (family == "lrc") {
+    return std::make_unique<LRCCode>(args.get("k", 12), args.get("l", 3),
+                                     args.get("g", 2), 8);
+  }
+  if (family == "xorbas") {
+    return std::make_unique<XorbasLRCCode>(args.get("k", 10),
+                                           args.get("l", 2),
+                                           args.get("g", 4), 8);
+  }
+  if (family == "rs") {
+    return std::make_unique<RSCode>(args.get("k", 10), args.get("m", 4), 8);
+  }
+  if (family == "crs") {
+    return std::make_unique<CRSCode>(args.get("k", 10), args.get("m", 4), 8);
+  }
+  if (family == "star") {
+    return std::make_unique<StarCode>(args.get("p", 7), 8);
+  }
+  if (family == "evenodd") {
+    return std::make_unique<EvenOddCode>(args.get("p", 7), 8);
+  }
+  if (family == "rdp") {
+    return std::make_unique<RDPCode>(args.get("p", 7), 8);
+  }
+  throw std::invalid_argument("unknown --code family: " + family);
+}
+
+// Family-appropriate worst-case (or --faults whole disks) scenario.
+FailureScenario make_scenario(const ErasureCode& code, const Args& args,
+                              ScenarioGenerator& gen) {
+  const std::string family = args.get("code", "sd");
+  if (args.flags.contains("faults")) {
+    return gen.disk_failures(code, args.get("faults", 1)).scenario;
+  }
+  if (family == "sd" || family == "pmds") {
+    return gen
+        .sd_worst_case(code, args.get("m", 2), args.get("s", 2),
+                       args.get("z", 1))
+        .scenario;
+  }
+  if (family == "lrc") {
+    const auto& lrc = dynamic_cast<const LRCCode&>(code);
+    return gen.lrc_failures(lrc, lrc.l(), 1).scenario;
+  }
+  if (family == "rs") {
+    const auto& rs = dynamic_cast<const RSCode&>(code);
+    return gen.rs_failures(rs, rs.m()).scenario;
+  }
+  // Generic fallback: tolerance-respecting whole-disk failures.
+  const std::size_t disks = family == "crs" ? args.get("m", 4)
+                            : family == "star" ? std::size_t{3}
+                                               : std::size_t{2};  // evenodd/rdp
+  return gen.disk_failures(code, std::min(disks, code.disks() - 1)).scenario;
+}
+
+int cmd_info(const ErasureCode& code) {
+  const Matrix& h = code.parity_check();
+  std::printf("code:          %s\n", code.name().c_str());
+  std::printf("geometry:      %zu disks x %zu rows = %zu blocks\n",
+              code.disks(), code.rows(), code.total_blocks());
+  std::printf("data/parity:   %zu / %zu\n", code.data_block_count(),
+              code.parity_blocks().size());
+  std::printf("H:             %zu x %zu, %zu nonzeros (density %.3f)\n",
+              h.rows(), h.cols(), h.nonzeros(),
+              static_cast<double>(h.nonzeros()) / (h.rows() * h.cols()));
+  std::printf("field:         GF(2^%u)\n", code.field().w());
+  std::printf("check rank:    %zu\n", h.rank());
+  // Parity arity census — symmetric vs asymmetric at a glance.
+  std::map<std::size_t, std::size_t> arity;
+  for (std::size_t row = 0; row < h.rows(); ++row) {
+    std::size_t nz = 0;
+    for (std::size_t c = 0; c < h.cols(); ++c) nz += (h(row, c) != 0);
+    ++arity[nz];
+  }
+  std::printf("row arities:  ");
+  for (const auto& [a, count] : arity) std::printf(" %zux%zu", count, a);
+  std::printf("  -> %s parity\n",
+              arity.size() > 1 ? "ASYMMETRIC" : "symmetric");
+  return 0;
+}
+
+int cmd_costs(const ErasureCode& code, const Args& args) {
+  ScenarioGenerator gen(args.get("seed", 1));
+  const FailureScenario sc = make_scenario(code, args, gen);
+  std::printf("scenario: %zu faulty blocks\n", sc.count());
+  const auto costs = analyze_costs(code, sc);
+  if (!costs) {
+    std::fprintf(stderr, "scenario undecodable\n");
+    return 1;
+  }
+  std::printf("C1=%zu C2=%zu C3=%zu C4=%zu  p=%zu  ppm=%zu (%.2f%% below "
+              "C1)\n",
+              costs->c1, costs->c2, costs->c3, costs->c4, costs->p,
+              costs->ppm_best(),
+              100.0 * (costs->c1 - costs->ppm_best()) / costs->c1);
+  return 0;
+}
+
+int cmd_bench(const ErasureCode& code, const Args& args) {
+  const std::size_t block = args.get("block", 65536);
+  const std::size_t reps = args.get("reps", 5);
+  ScenarioGenerator gen(args.get("seed", 1));
+  const FailureScenario sc = make_scenario(code, args, gen);
+
+  Stripe stripe(code, block);
+  Rng rng(args.get("seed", 1) + 1);
+  stripe.fill_data(rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(stripe.block_ptrs(), block)) return 1;
+  const auto snap = stripe.snapshot();
+
+  PpmOptions opts;
+  opts.threads = static_cast<unsigned>(args.get("threads", 4));
+  const PpmDecoder ppm_dec(code, opts);
+
+  stripe.erase(sc);  // warm-up
+  if (!trad.decode(sc, stripe.block_ptrs(), block)) return 1;
+
+  std::vector<double> tt;
+  std::vector<double> tp;
+  std::vector<double> tmodel;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    stripe.erase(sc);
+    const auto tr = trad.decode(sc, stripe.block_ptrs(), block);
+    if (!tr) return 1;
+    tt.push_back(tr->seconds);
+    stripe.erase(sc);
+    const auto pr = ppm_dec.decode(sc, stripe.block_ptrs(), block);
+    if (!pr) return 1;
+    tp.push_back(pr->seconds);
+    tmodel.push_back(pr->modeled_seconds());
+  }
+  if (!stripe.equals(snap)) {
+    std::fprintf(stderr, "VERIFICATION FAILED\n");
+    return 1;
+  }
+  std::sort(tt.begin(), tt.end());
+  std::sort(tp.begin(), tp.end());
+  std::sort(tmodel.begin(), tmodel.end());
+  const double t1 = tt[tt.size() / 2];
+  const double t2 = tp[tp.size() / 2];
+  const double t3 = tmodel[tmodel.size() / 2];
+  std::printf("traditional: %8.3f ms\n", t1 * 1e3);
+  std::printf("PPM (wall):  %8.3f ms  (%+.2f%%)\n", t2 * 1e3,
+              100 * (t1 / t2 - 1));
+  std::printf("PPM (model): %8.3f ms  (%+.2f%%, %zu threads)\n", t3 * 1e3,
+              100 * (t1 / t3 - 1), args.get("threads", 4));
+  return 0;
+}
+
+int cmd_sim(const ErasureCode& code, const Args& args) {
+  SimParams params;
+  params.hours = static_cast<double>(args.get("hours", 24 * 365));
+  params.disk_mtbf_hours =
+      static_cast<double>(args.get("mtbf", 20000));
+  params.sector_errors_per_disk_hour =
+      1.0 / static_cast<double>(args.get("sector_mtbh", 5000));
+  params.repair_hours = static_cast<double>(args.get("repair", 8));
+  params.stripes = args.get("stripes", 256);
+  params.block_bytes = args.get("block", 8192);
+  params.seed = args.get("seed", 1);
+
+  const ArraySimulator sim(code, params);
+  const SimResult trad = sim.run(RepairPolicy::kTraditional);
+  const SimResult ppm = sim.run(RepairPolicy::kPpm);
+  std::printf("%s over %.0f hours: %zu disk failures, %zu sector errors, "
+              "%zu repairs, %zu loss events\n",
+              code.name().c_str(), params.hours, trad.disk_failures,
+              trad.sector_errors, trad.repair_events, trad.data_loss_events);
+  std::printf("repair mult_XORs: traditional %zu, PPM %zu (%.2f%% saved)\n",
+              trad.compute.mult_xors, ppm.compute.mult_xors,
+              trad.compute.mult_xors == 0
+                  ? 0.0
+                  : 100.0 *
+                        (static_cast<double>(trad.compute.mult_xors) -
+                         static_cast<double>(ppm.compute.mult_xors)) /
+                        static_cast<double>(trad.compute.mult_xors));
+  return 0;
+}
+
+int cmd_selftest(const ErasureCode& code, const Args& args) {
+  const std::size_t block = args.get("block", 65536);
+  ScenarioGenerator gen(args.get("seed", 1));
+  Stripe stripe(code, block);
+  Rng rng(args.get("seed", 1) + 2);
+  stripe.fill_data(rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(stripe.block_ptrs(), block)) {
+    std::printf("FAIL: encode\n");
+    return 1;
+  }
+  if (!stripe_consistent(code, stripe.block_ptrs(), block)) {
+    std::printf("FAIL: syndrome after encode\n");
+    return 1;
+  }
+  const auto snap = stripe.snapshot();
+  const PpmDecoder ppm_dec(code);
+  for (int wave = 0; wave < 5; ++wave) {
+    const FailureScenario sc = make_scenario(code, args, gen);
+    stripe.erase(sc);
+    const auto res = ppm_dec.decode(sc, stripe.block_ptrs(), block);
+    if (!res || !stripe.equals(snap)) {
+      std::printf("FAIL: decode wave %d\n", wave);
+      return 1;
+    }
+  }
+  std::printf("OK: %s — encode + 5 decode waves verified\n",
+              code.name().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s {info|costs|bench|selftest|sim} --code "
+                 "{sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} [params]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const auto code = make_code(args);
+    if (args.command == "info") return cmd_info(*code);
+    if (args.command == "costs") return cmd_costs(*code, args);
+    if (args.command == "bench") return cmd_bench(*code, args);
+    if (args.command == "sim") return cmd_sim(*code, args);
+    if (args.command == "selftest") return cmd_selftest(*code, args);
+    std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

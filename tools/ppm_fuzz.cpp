@@ -1,0 +1,155 @@
+// ppm_fuzz — time-budgeted randomized stress harness.
+//
+// Generates random code instances (every family plus arbitrary random
+// parity-check matrices), random failure scenarios (decodable or not) and
+// random block sizes, and checks on every trial that:
+//   * PPM and the traditional decoder agree on decodability;
+//   * both restore the stripe byte-for-byte when decodable;
+//   * the realized PPM op count equals the cost model's min(C3, C4);
+//   * the stripe passes syndrome verification afterwards.
+//
+//   ./ppm_fuzz [seconds] [seed]     (defaults: 10 seconds, seed 1 —
+//                                    deterministic for reproducibility)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <memory>
+
+#include "ppm.h"
+
+using namespace ppm;
+
+namespace {
+
+std::unique_ptr<ErasureCode> random_code(Rng& rng) {
+  switch (rng.bounded(9)) {
+    case 0: {
+      const std::size_t n = 4 + rng.bounded(12);
+      const std::size_t r = 4 + rng.bounded(12);
+      const std::size_t m = 1 + rng.bounded(std::min<std::size_t>(3, n - 2));
+      const std::size_t max_s =
+          std::min<std::size_t>(3, (n - m) * r - 1);
+      const std::size_t s = 1 + rng.bounded(max_s);
+      return std::make_unique<SDCode>(n, r, m, s,
+                                      SDCode::recommended_width(n, r));
+    }
+    case 1: {
+      const std::size_t k = 4 + rng.bounded(16);
+      const std::size_t l = 1 + rng.bounded(std::min<std::size_t>(4, k));
+      return std::make_unique<LRCCode>(k, l, 1 + rng.bounded(3), 8);
+    }
+    case 2: {
+      const std::size_t k = 4 + rng.bounded(12);
+      const std::size_t l = 1 + rng.bounded(std::min<std::size_t>(3, k));
+      return std::make_unique<XorbasLRCCode>(k, l, 1 + rng.bounded(4), 8);
+    }
+    case 3:
+      return std::make_unique<RSCode>(4 + rng.bounded(16),
+                                      1 + rng.bounded(4), 8);
+    case 4:
+      return std::make_unique<CRSCode>(3 + rng.bounded(8),
+                                       1 + rng.bounded(3), 8);
+    case 5: {
+      constexpr std::size_t primes[] = {3, 5, 7, 11};
+      return std::make_unique<EvenOddCode>(primes[rng.bounded(4)]);
+    }
+    case 6: {
+      constexpr std::size_t primes[] = {3, 5, 7, 11};
+      return std::make_unique<RDPCode>(primes[rng.bounded(4)]);
+    }
+    case 7: {
+      constexpr std::size_t primes[] = {5, 7, 11};
+      return std::make_unique<StarCode>(primes[rng.bounded(3)]);
+    }
+    default: {
+      const std::size_t m = 1 + rng.bounded(3);
+      return std::make_unique<PMDSCode>(5 + rng.bounded(6), 4 + rng.bounded(6),
+                                        m, 1 + rng.bounded(3), 8);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::strtod(argv[1], nullptr) : 10;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  Rng rng(seed);
+  Timer clock;
+
+  std::size_t trials = 0;
+  std::size_t decodable = 0;
+  std::size_t rejected = 0;
+  while (clock.seconds() < budget) {
+    ++trials;
+    const auto code = random_code(rng);
+    const std::size_t block =
+        code->field().symbol_bytes() * (8 + rng.bounded(64));
+    Stripe stripe(*code, block);
+    Rng fill(seed + trials);
+    stripe.fill_data(fill);
+    const TraditionalDecoder trad(*code);
+    if (!trad.encode(stripe.block_ptrs(), block)) {
+      std::fprintf(stderr, "FUZZ FAIL (encode): %s\n", code->name().c_str());
+      return 1;
+    }
+    const auto snap = stripe.snapshot();
+
+    // Random failure set, possibly beyond tolerance.
+    const std::size_t count = 1 + rng.bounded(code->check_rows() + 1);
+    std::vector<std::size_t> faulty;
+    while (faulty.size() < std::min(count, code->total_blocks() - 1)) {
+      const std::size_t b = rng.bounded(code->total_blocks());
+      if (std::find(faulty.begin(), faulty.end(), b) == faulty.end()) {
+        faulty.push_back(b);
+      }
+    }
+    const FailureScenario sc(faulty);
+
+    stripe.erase(sc);
+    const auto tr = trad.decode(sc, stripe.block_ptrs(), block);
+    const bool trad_ok = tr.has_value() && stripe.equals(snap);
+
+    std::memcpy(stripe.block(0), snap.data(), snap.size());
+    stripe.erase(sc);
+    PpmOptions opts;
+    opts.threads = 1 + static_cast<unsigned>(rng.bounded(4));
+    const PpmDecoder ppm_dec(*code, opts);
+    const auto pr = ppm_dec.decode(sc, stripe.block_ptrs(), block);
+    const bool ppm_ok = pr.has_value() && stripe.equals(snap);
+
+    if (tr.has_value() != pr.has_value()) {
+      std::fprintf(stderr, "FUZZ FAIL (decodability disagreement): %s\n",
+                   code->name().c_str());
+      return 1;
+    }
+    if (tr.has_value()) {
+      ++decodable;
+      if (!trad_ok || !ppm_ok) {
+        std::fprintf(stderr, "FUZZ FAIL (bytes): %s\n", code->name().c_str());
+        return 1;
+      }
+      const auto costs = analyze_costs(*code, sc);
+      if (!costs.has_value() ||
+          pr->stats.mult_xors != costs->ppm_best()) {
+        std::fprintf(stderr, "FUZZ FAIL (cost model): %s\n",
+                     code->name().c_str());
+        return 1;
+      }
+      if (!stripe_consistent(*code, stripe.block_ptrs(), block)) {
+        std::fprintf(stderr, "FUZZ FAIL (syndrome): %s\n",
+                     code->name().c_str());
+        return 1;
+      }
+    } else {
+      ++rejected;
+      std::memcpy(stripe.block(0), snap.data(), snap.size());
+    }
+  }
+  std::printf("ppm_fuzz: %zu trials in %.1fs (%zu decodable, %zu beyond "
+              "tolerance), 0 failures\n",
+              trials, clock.seconds(), decodable, rejected);
+  return 0;
+}
