@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch_parallel"
+  "../bench/ablation_batch_parallel.pdb"
+  "CMakeFiles/ablation_batch_parallel.dir/ablation_batch_parallel.cpp.o"
+  "CMakeFiles/ablation_batch_parallel.dir/ablation_batch_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

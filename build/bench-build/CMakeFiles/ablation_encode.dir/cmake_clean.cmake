@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_encode"
+  "../bench/ablation_encode.pdb"
+  "CMakeFiles/ablation_encode.dir/ablation_encode.cpp.o"
+  "CMakeFiles/ablation_encode.dir/ablation_encode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_plan_cache"
+  "../bench/ablation_plan_cache.pdb"
+  "CMakeFiles/ablation_plan_cache.dir/ablation_plan_cache.cpp.o"
+  "CMakeFiles/ablation_plan_cache.dir/ablation_plan_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_region_split"
+  "../bench/ablation_region_split.pdb"
+  "CMakeFiles/ablation_region_split.dir/ablation_region_split.cpp.o"
+  "CMakeFiles/ablation_region_split.dir/ablation_region_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

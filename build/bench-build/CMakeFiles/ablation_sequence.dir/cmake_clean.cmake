@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sequence"
+  "../bench/ablation_sequence.pdb"
+  "CMakeFiles/ablation_sequence.dir/ablation_sequence.cpp.o"
+  "CMakeFiles/ablation_sequence.dir/ablation_sequence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_serial_ppm"
+  "../bench/ablation_serial_ppm.pdb"
+  "CMakeFiles/ablation_serial_ppm.dir/ablation_serial_ppm.cpp.o"
+  "CMakeFiles/ablation_serial_ppm.dir/ablation_serial_ppm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_serial_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

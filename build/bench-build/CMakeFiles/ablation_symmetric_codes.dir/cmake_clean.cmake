@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_symmetric_codes"
+  "../bench/ablation_symmetric_codes.pdb"
+  "CMakeFiles/ablation_symmetric_codes.dir/ablation_symmetric_codes.cpp.o"
+  "CMakeFiles/ablation_symmetric_codes.dir/ablation_symmetric_codes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_symmetric_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_closed_form"
+  "../bench/analysis_closed_form.pdb"
+  "CMakeFiles/analysis_closed_form.dir/analysis_closed_form.cpp.o"
+  "CMakeFiles/analysis_closed_form.dir/analysis_closed_form.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_closed_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

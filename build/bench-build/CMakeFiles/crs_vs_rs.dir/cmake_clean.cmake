@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crs_vs_rs"
+  "../bench/crs_vs_rs.pdb"
+  "CMakeFiles/crs_vs_rs.dir/crs_vs_rs.cpp.o"
+  "CMakeFiles/crs_vs_rs.dir/crs_vs_rs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crs_vs_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cpu_proxy"
+  "../bench/fig10_cpu_proxy.pdb"
+  "CMakeFiles/fig10_cpu_proxy.dir/fig10_cpu_proxy.cpp.o"
+  "CMakeFiles/fig10_cpu_proxy.dir/fig10_cpu_proxy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

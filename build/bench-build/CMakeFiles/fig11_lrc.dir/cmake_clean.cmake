@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_lrc"
+  "../bench/fig11_lrc.pdb"
+  "CMakeFiles/fig11_lrc.dir/fig11_lrc.cpp.o"
+  "CMakeFiles/fig11_lrc.dir/fig11_lrc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_sequence_cost"
+  "../bench/fig4_sequence_cost.pdb"
+  "CMakeFiles/fig4_sequence_cost.dir/fig4_sequence_cost.cpp.o"
+  "CMakeFiles/fig4_sequence_cost.dir/fig4_sequence_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sequence_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

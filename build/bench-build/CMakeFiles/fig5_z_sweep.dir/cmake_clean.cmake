@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_z_sweep"
+  "../bench/fig5_z_sweep.pdb"
+  "CMakeFiles/fig5_z_sweep.dir/fig5_z_sweep.cpp.o"
+  "CMakeFiles/fig5_z_sweep.dir/fig5_z_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_z_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_r_sweep"
+  "../bench/fig6_r_sweep.pdb"
+  "CMakeFiles/fig6_r_sweep.dir/fig6_r_sweep.cpp.o"
+  "CMakeFiles/fig6_r_sweep.dir/fig6_r_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_r_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

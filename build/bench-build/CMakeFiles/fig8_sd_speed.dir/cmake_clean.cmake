@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_sd_speed"
+  "../bench/fig8_sd_speed.pdb"
+  "CMakeFiles/fig8_sd_speed.dir/fig8_sd_speed.cpp.o"
+  "CMakeFiles/fig8_sd_speed.dir/fig8_sd_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sd_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_decode_plan"
+  "../bench/micro_decode_plan.pdb"
+  "CMakeFiles/micro_decode_plan.dir/micro_decode_plan.cpp.o"
+  "CMakeFiles/micro_decode_plan.dir/micro_decode_plan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decode_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_gf_regions"
+  "../bench/micro_gf_regions.pdb"
+  "CMakeFiles/micro_gf_regions.dir/micro_gf_regions.cpp.o"
+  "CMakeFiles/micro_gf_regions.dir/micro_gf_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gf_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_gf_regions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_matrix"
+  "../bench/micro_matrix.pdb"
+  "CMakeFiles/micro_matrix.dir/micro_matrix.cpp.o"
+  "CMakeFiles/micro_matrix.dir/micro_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/xor_schedule_bench"
+  "../bench/xor_schedule_bench.pdb"
+  "CMakeFiles/xor_schedule_bench.dir/xor_schedule_bench.cpp.o"
+  "CMakeFiles/xor_schedule_bench.dir/xor_schedule_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_schedule_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_rebuild.dir/array_rebuild.cpp.o"
+  "CMakeFiles/array_rebuild.dir/array_rebuild.cpp.o.d"
+  "array_rebuild"
+  "array_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

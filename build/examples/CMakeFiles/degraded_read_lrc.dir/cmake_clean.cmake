@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_read_lrc.dir/degraded_read_lrc.cpp.o"
+  "CMakeFiles/degraded_read_lrc.dir/degraded_read_lrc.cpp.o.d"
+  "degraded_read_lrc"
+  "degraded_read_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_read_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_sector_recovery.dir/disk_sector_recovery.cpp.o"
+  "CMakeFiles/disk_sector_recovery.dir/disk_sector_recovery.cpp.o.d"
+  "disk_sector_recovery"
+  "disk_sector_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_sector_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

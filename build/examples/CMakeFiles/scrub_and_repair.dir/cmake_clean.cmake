@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_and_repair.dir/scrub_and_repair.cpp.o"
+  "CMakeFiles/scrub_and_repair.dir/scrub_and_repair.cpp.o.d"
+  "scrub_and_repair"
+  "scrub_and_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_and_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scrub_and_repair "/root/repo/build/examples/scrub_and_repair" "6" "8" "2" "1" "16")
+set_tests_properties(example_scrub_and_repair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_degraded_read "/root/repo/build/examples/degraded_read_lrc" "12" "3" "2" "64")
+set_tests_properties(example_degraded_read PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_disk_sector "/root/repo/build/examples/disk_sector_recovery" "6" "8" "2" "2" "2")
+set_tests_properties(example_disk_sector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_array_rebuild "/root/repo/build/examples/array_rebuild" "8" "6" "8" "2" "1" "16")
+set_tests_properties(example_array_rebuild PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cost_explorer "/root/repo/build/examples/cost_explorer" "8" "8" "2" "2" "1")
+set_tests_properties(example_cost_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_datacenter_sim "/root/repo/build/examples/datacenter_sim" "0.5" "8" "8" "2" "1")
+set_tests_properties(example_datacenter_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
