@@ -30,6 +30,8 @@ int main() {
   const auto g = gen.sd_worst_case(code, 2, 2, 1);
   const std::size_t block = 32 * 1024;
 
+  CodecMetrics metrics;  // shared sink across all PPM decodes below
+
   std::printf("%8s  %12s %12s %12s  (modeled %u lanes)\n", "stripes",
               "A:trad-par", "B:ppm-intra", "C:ppm-par", lanes);
   for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
@@ -49,6 +51,7 @@ int main() {
     // single-core host).
     PpmOptions popts;
     popts.threads = 1;
+    popts.metrics = &metrics;
     const PpmDecoder ppm_serial(code, popts);
 
     // Measure per-stripe times once (warm), then model the three layouts.
@@ -95,5 +98,6 @@ int main() {
   std::printf("\n(small batches: B wins — only matrix-level parallelism "
               "fills the cores; large batches: C wins — no serial H_rest "
               "tail — and beats A by the C4 < C1 cost reduction)\n");
+  std::printf("\nmetrics: %s\n", metrics.to_json().c_str());
   return 0;
 }

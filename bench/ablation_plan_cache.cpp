@@ -20,6 +20,10 @@ int main() {
   ScenarioGenerator gen(0xAB3A);
   const auto g = gen.sd_worst_case(code, 2, 2, 1);
 
+  Codec::Options copts;
+  copts.threads = 1;
+  Codec codec(code, copts);
+
   std::printf("%10s  %12s %12s %10s\n", "block", "plan/decode", "cached",
               "speedup");
   for (const std::size_t block : {4u << 10, 16u << 10, 64u << 10,
@@ -33,9 +37,6 @@ int main() {
     PpmOptions popts;
     popts.threads = 1;  // isolate planning cost from thread effects
     const PpmDecoder dec(code, popts);
-    Codec::Options copts;
-    copts.threads = 1;
-    Codec codec(code, copts);
     // Warm both paths (and populate the cache).
     stripe.erase(g.scenario);
     if (!dec.decode(g.scenario, stripe.block_ptrs(), block)) return 1;
@@ -64,5 +65,6 @@ int main() {
   std::printf("\n(planning cost is fixed per scenario; its share — and the "
               "cache's win — shrinks as blocks grow, matching the paper's "
               "§III-C amortization claim)\n");
+  std::printf("\nmetrics: %s\n", codec.metrics_json().c_str());
   return 0;
 }

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/codes/xorbas_lrc_code.cpp" "src/CMakeFiles/ppm.dir/codes/xorbas_lrc_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/xorbas_lrc_code.cpp.o.d"
   "/root/repo/src/common/aligned_buffer.cpp" "src/CMakeFiles/ppm.dir/common/aligned_buffer.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/aligned_buffer.cpp.o.d"
   "/root/repo/src/common/cpu.cpp" "src/CMakeFiles/ppm.dir/common/cpu.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/cpu.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/ppm.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/metrics.cpp.o.d"
   "/root/repo/src/decode/block_parallel_decoder.cpp" "src/CMakeFiles/ppm.dir/decode/block_parallel_decoder.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/block_parallel_decoder.cpp.o.d"
   "/root/repo/src/decode/cost_model.cpp" "src/CMakeFiles/ppm.dir/decode/cost_model.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/cost_model.cpp.o.d"
   "/root/repo/src/decode/degraded_read.cpp" "src/CMakeFiles/ppm.dir/decode/degraded_read.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/degraded_read.cpp.o.d"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_block_parallel.cpp" "tests/CMakeFiles/ppm_tests.dir/test_block_parallel.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_block_parallel.cpp.o.d"
   "/root/repo/tests/test_closed_form.cpp" "tests/CMakeFiles/ppm_tests.dir/test_closed_form.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_closed_form.cpp.o.d"
   "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_codec_concurrency.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codec_concurrency.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codec_concurrency.cpp.o.d"
   "/root/repo/tests/test_codes_array.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_array.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_array.cpp.o.d"
   "/root/repo/tests/test_codes_crs.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_crs.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_crs.cpp.o.d"
   "/root/repo/tests/test_codes_lrc.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_lrc.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_lrc.cpp.o.d"
@@ -30,8 +31,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ppm_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_integration.cpp.o.d"
   "/root/repo/tests/test_log_table.cpp" "tests/CMakeFiles/ppm_tests.dir/test_log_table.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_log_table.cpp.o.d"
   "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ppm_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/ppm_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_metrics.cpp.o.d"
   "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/ppm_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_partition.cpp.o.d"
   "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/ppm_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_plan_cache.cpp" "tests/CMakeFiles/ppm_tests.dir/test_plan_cache.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_plan_cache.cpp.o.d"
   "/root/repo/tests/test_ppm_decoder.cpp" "tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o.d"
   "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/ppm_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_scenario.cpp.o.d"
   "/root/repo/tests/test_solve.cpp" "tests/CMakeFiles/ppm_tests.dir/test_solve.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_solve.cpp.o.d"

@@ -303,8 +303,11 @@ tests/CMakeFiles/ppm_tests.dir/test_codes_star.cpp.o: \
  /root/repo/src/ppm.h /root/repo/src/analysis/closed_form.h \
  /root/repo/src/codec/codec.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/decode/plan.h \
- /root/repo/src/decode/ppm_decoder.h /root/repo/src/decode/scenario.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/sharded_lru.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/decode/plan.h /root/repo/src/decode/ppm_decoder.h \
+ /root/repo/src/decode/scenario.h \
  /root/repo/src/decode/traditional_decoder.h \
  /root/repo/src/parallel/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \

@@ -300,8 +300,11 @@ tests/CMakeFiles/ppm_tests.dir/test_fuzz_random_codes.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/codes/erasure_code.h /usr/include/c++/12/span \
  /root/repo/src/gf/galois_field.h /root/repo/src/common/cpu.h \
- /root/repo/src/matrix/matrix.h /root/repo/src/decode/plan.h \
- /root/repo/src/decode/ppm_decoder.h /root/repo/src/decode/scenario.h \
+ /root/repo/src/matrix/matrix.h /root/repo/src/common/metrics.h \
+ /root/repo/src/common/sharded_lru.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/decode/plan.h /root/repo/src/decode/ppm_decoder.h \
+ /root/repo/src/decode/scenario.h \
  /root/repo/src/decode/traditional_decoder.h \
  /root/repo/src/parallel/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \

@@ -298,7 +298,7 @@ tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o: \
  /root/repo/src/common/cpu.h /root/repo/src/matrix/matrix.h \
  /root/repo/src/codes/pmds_code.h /root/repo/src/codes/sd_code.h \
  /root/repo/src/decode/cost_model.h /root/repo/src/decode/scenario.h \
- /root/repo/src/decode/ppm_decoder.h \
+ /root/repo/src/decode/ppm_decoder.h /root/repo/src/common/metrics.h \
  /root/repo/src/decode/traditional_decoder.h /root/repo/src/decode/plan.h \
  /root/repo/src/parallel/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
@@ -313,7 +313,9 @@ tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/tests/test_util.h /usr/include/c++/12/cstring \
  /root/repo/src/ppm.h /root/repo/src/analysis/closed_form.h \
- /root/repo/src/codec/codec.h /root/repo/src/codec/update.h \
+ /root/repo/src/codec/codec.h /root/repo/src/common/sharded_lru.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/codec/update.h \
  /root/repo/src/codes/coeff_search.h /root/repo/src/codes/crs_code.h \
  /root/repo/src/codes/evenodd_code.h /root/repo/src/codes/rdp_code.h \
  /root/repo/src/codes/rs_code.h /root/repo/src/codes/star_code.h \

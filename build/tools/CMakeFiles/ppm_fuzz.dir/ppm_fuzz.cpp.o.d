@@ -202,12 +202,7 @@ tools/CMakeFiles/ppm_fuzz.dir/ppm_fuzz.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ppm.h \
  /root/repo/src/analysis/closed_form.h /usr/include/c++/12/cstddef \
- /root/repo/src/codec/codec.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /root/repo/src/codec/codec.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
@@ -218,13 +213,22 @@ tools/CMakeFiles/ppm_fuzz.dir/ppm_fuzz.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/codes/erasure_code.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/gf/galois_field.h /root/repo/src/common/cpu.h \
- /root/repo/src/matrix/matrix.h /root/repo/src/decode/plan.h \
+ /root/repo/src/matrix/matrix.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/sharded_lru.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/decode/plan.h \
  /root/repo/src/decode/ppm_decoder.h /root/repo/src/decode/scenario.h \
  /root/repo/src/decode/traditional_decoder.h \
  /root/repo/src/parallel/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

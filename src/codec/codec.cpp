@@ -24,7 +24,11 @@ void CachedPlan::execute(std::uint8_t* const* blocks, std::size_t block_bytes,
 }
 
 Codec::Codec(const ErasureCode& code, Options options)
-    : code_(&code), options_(options) {
+    : code_(&code),
+      options_(options),
+      cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity,
+             options.cache_shards, &metrics_.plan_hits, &metrics_.plan_misses,
+             &metrics_.plan_evictions) {
   if (options_.threads == 0) options_.threads = hardware_threads();
   if (options_.cache_capacity == 0) options_.cache_capacity = 1;
 }
@@ -64,34 +68,38 @@ std::shared_ptr<const CachedPlan> Codec::plan_for(
     const FailureScenario& scenario) {
   const std::vector<std::size_t> key(scenario.faulty().begin(),
                                      scenario.faulty().end());
-  {
-    const std::scoped_lock lock(mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
-      return it->second;
-    }
-    ++misses_;
-  }
+  if (auto cached = cache_.get(key)) return *cached;
+  // Miss: build outside any lock. Concurrent missers may build the same
+  // plan; insert() keeps the first and everyone shares it.
+  const Timer build;
   auto plan = build_plan(scenario);
-  if (plan == nullptr) return nullptr;
-  const std::scoped_lock lock(mutex_);
-  if (cache_.size() >= options_.cache_capacity && !eviction_order_.empty()) {
-    cache_.erase(eviction_order_.front());
-    eviction_order_.erase(eviction_order_.begin());
+  if (plan == nullptr) {
+    metrics_.plan_failures.add();
+    return nullptr;
   }
-  cache_.emplace(key, plan);
-  eviction_order_.push_back(key);
-  return plan;
+  metrics_.plan_seconds.record_seconds(build.seconds());
+  return cache_.insert(key, std::move(plan));
 }
 
 bool Codec::decode(const FailureScenario& scenario,
                    std::uint8_t* const* blocks, std::size_t block_bytes,
                    DecodeStats* stats) {
   if (scenario.empty()) return true;
+  const Timer total;
   const auto plan = plan_for(scenario);
   if (plan == nullptr) return false;
-  plan->execute(blocks, block_bytes, stats);
+  DecodeStats local;
+  plan->execute(blocks, block_bytes, &local);
+  metrics_.decodes.add();
+  metrics_.stripes_decoded.add();
+  metrics_.mult_xors.add(local.mult_xors);
+  metrics_.bytes_touched.add(local.bytes_touched);
+  metrics_.decode_seconds.record_seconds(total.seconds());
+  if (stats != nullptr) {
+    stats->mult_xors += local.mult_xors;
+    stats->bytes_touched += local.bytes_touched;
+    stats->blocks_read += local.blocks_read;
+  }
   return true;
 }
 
@@ -99,6 +107,13 @@ bool Codec::encode(std::uint8_t* const* blocks, std::size_t block_bytes,
                    DecodeStats* stats) {
   return decode(FailureScenario::encoding_of(*code_), blocks, block_bytes,
                 stats);
+}
+
+ThreadPool& Codec::batch_pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(std::max(1u, options_.threads));
+  });
+  return *pool_;
 }
 
 std::optional<BatchResult> Codec::decode_batch(
@@ -114,6 +129,8 @@ std::optional<BatchResult> Codec::decode_batch(
 
   if (stripes.empty()) {
     result.seconds = total.seconds();
+    metrics_.batches.add();
+    metrics_.batch_seconds.record_seconds(result.seconds);
     return result;
   }
 
@@ -123,9 +140,7 @@ std::optional<BatchResult> Codec::decode_batch(
       plan->execute(stripes[i], block_bytes, &per_stripe[i]);
     }
   } else {
-    ThreadPool pool(std::min<unsigned>(
-        options_.threads, static_cast<unsigned>(stripes.size())));
-    TaskGroup group(pool);
+    TaskGroup group(batch_pool());
     for (std::size_t i = 0; i < stripes.size(); ++i) {
       group.add([&, i] { plan->execute(stripes[i], block_bytes,
                                        &per_stripe[i]); });
@@ -138,12 +153,12 @@ std::optional<BatchResult> Codec::decode_batch(
     result.stats.blocks_read += st.blocks_read;
   }
   result.seconds = total.seconds();
+  metrics_.batches.add();
+  metrics_.stripes_decoded.add(stripes.size());
+  metrics_.mult_xors.add(result.stats.mult_xors);
+  metrics_.bytes_touched.add(result.stats.bytes_touched);
+  metrics_.batch_seconds.record_seconds(result.seconds);
   return result;
-}
-
-std::size_t Codec::cache_size() const {
-  const std::scoped_lock lock(mutex_);
-  return cache_.size();
 }
 
 }  // namespace ppm

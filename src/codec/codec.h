@@ -8,16 +8,26 @@
 // stripes, combining PPM's intra-stripe (matrix-level) parallelism with
 // the classic inter-stripe (block-level) parallelism of [36]-[38] in the
 // paper's related work. The ablation benches quantify each contribution.
+//
+// Thread-safety: a Codec is safe for concurrent use from any number of
+// threads. plan_for/decode/encode/decode_batch may all run at once; the
+// plan cache is sharded-LRU (common/sharded_lru.h) so lookups on distinct
+// scenarios rarely contend, and the stats/metrics accessors are lock-free
+// relaxed-atomic reads. Two threads that miss on the same scenario
+// concurrently may both build the plan; the first insert wins and both
+// threads share the surviving instance. See docs/CONCURRENCY.md for the
+// full contract.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "codes/erasure_code.h"
+#include "common/metrics.h"
+#include "common/sharded_lru.h"
 #include "decode/plan.h"
 #include "decode/ppm_decoder.h"
 #include "decode/scenario.h"
@@ -56,7 +66,12 @@ class Codec {
  public:
   struct Options {
     unsigned threads = 0;     ///< worker threads for batch decode (0 = hw)
-    std::size_t cache_capacity = 64;  ///< retained scenario plans
+    std::size_t cache_capacity = 64;  ///< retained scenario plans (total)
+    /// Plan-cache mutex domains. 0 = auto: min(8, cache_capacity). 1
+    /// degenerates to a single strict-LRU cache (useful for tests wanting
+    /// deterministic eviction order); more shards reduce lock contention
+    /// but evict per shard rather than globally.
+    std::size_t cache_shards = 0;
   };
 
   explicit Codec(const ErasureCode& code) : Codec(code, Options{}) {}
@@ -65,8 +80,8 @@ class Codec {
   const ErasureCode& code() const { return *code_; }
 
   /// Plan (or fetch the cached plan for) a scenario. std::nullopt when
-  /// undecodable. The returned pointer stays valid for the life of the
-  /// codec or until evicted (shared_ptr keeps it alive for callers).
+  /// undecodable. The shared_ptr keeps the plan alive for the caller even
+  /// after LRU eviction.
   std::shared_ptr<const CachedPlan> plan_for(const FailureScenario& scenario);
 
   /// Decode one stripe using the cached plan.
@@ -79,29 +94,42 @@ class Codec {
 
   /// Decode a batch of stripes sharing one failure scenario — the
   /// disk-rebuild path. Planning happens once; stripes are distributed
-  /// over the worker pool.
+  /// over the codec's persistent worker pool (created on first use).
   std::optional<BatchResult> decode_batch(
       const FailureScenario& scenario,
       const std::vector<std::uint8_t* const*>& stripes,
       std::size_t block_bytes);
 
-  std::size_t cache_size() const;
-  std::size_t cache_hits() const { return hits_; }
-  std::size_t cache_misses() const { return misses_; }
+  std::size_t cache_size() const { return cache_.size(); }
+  std::size_t cache_capacity() const { return cache_.capacity(); }
+  std::size_t cache_shards() const { return cache_.shard_count(); }
+
+  // Lock-free stats reads (relaxed atomics — safe concurrent with
+  // decode traffic; see docs/CONCURRENCY.md).
+  std::size_t cache_hits() const { return metrics_.plan_hits.value(); }
+  std::size_t cache_misses() const { return metrics_.plan_misses.value(); }
+  std::size_t cache_evictions() const {
+    return metrics_.plan_evictions.value();
+  }
+
+  /// Full metric set (counters + latency histograms); every member is
+  /// individually thread-safe to read while the codec serves traffic.
+  const CodecMetrics& metrics() const { return metrics_; }
+
+  /// JSON snapshot of metrics() — the export format of `ppm_cli batch`.
+  std::string metrics_json() const { return metrics_.to_json(); }
 
  private:
   std::shared_ptr<const CachedPlan> build_plan(
       const FailureScenario& scenario) const;
+  ThreadPool& batch_pool();
 
   const ErasureCode* code_;
   Options options_;
-  mutable std::mutex mutex_;
-  // FIFO-evicted scenario -> plan map (scenario lists are small).
-  std::map<std::vector<std::size_t>, std::shared_ptr<const CachedPlan>>
-      cache_;
-  std::vector<std::vector<std::size_t>> eviction_order_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  CodecMetrics metrics_;
+  ShardedLruCache<std::shared_ptr<const CachedPlan>> cache_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ppm

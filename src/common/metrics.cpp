@@ -1,0 +1,130 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ppm {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool trailing_comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", key, value,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double value,
+               bool trailing_comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.9g%s", key, value,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Point-in-time copy so rank and cumulative walk agree.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total - 1);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (rank < next) {
+      const double frac =
+          (rank - cumulative) / static_cast<double>(counts[i]);
+      const double lo = static_cast<double>(bucket_floor_ns(i));
+      const double hi = static_cast<double>(
+          i + 1 >= kBuckets ? bucket_floor_ns(i) * 2 : bucket_ceil_ns(i));
+      const double v = (lo + frac * (hi - lo)) * 1e-9;
+      // Interpolation can overshoot the true tail; never report a
+      // quantile above the observed maximum.
+      const double mx = max_seconds();
+      return mx > 0 && v > mx ? mx : v;
+    }
+    cumulative = next;
+  }
+  return max_seconds();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::append_json(std::string& out) const {
+  out += '{';
+  append_kv(out, "count", count());
+  append_kv(out, "total_s", total_seconds());
+  append_kv(out, "mean_s", mean_seconds());
+  append_kv(out, "p50_s", quantile_seconds(0.50));
+  append_kv(out, "p95_s", quantile_seconds(0.95));
+  append_kv(out, "p99_s", quantile_seconds(0.99));
+  append_kv(out, "max_s", max_seconds());
+  out += "\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = bucket_count(i);
+    if (n == 0) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s[%" PRIu64 ",%" PRIu64 "]",
+                  first ? "" : ",", bucket_floor_ns(i), n);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+}
+
+void CodecMetrics::reset() {
+  plan_hits.reset();
+  plan_misses.reset();
+  plan_evictions.reset();
+  plan_failures.reset();
+  decodes.reset();
+  batches.reset();
+  stripes_decoded.reset();
+  mult_xors.reset();
+  bytes_touched.reset();
+  decode_seconds.reset();
+  batch_seconds.reset();
+  plan_seconds.reset();
+}
+
+std::string CodecMetrics::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"plan_cache\":{";
+  append_kv(out, "hits", plan_hits.value());
+  append_kv(out, "misses", plan_misses.value());
+  append_kv(out, "evictions", plan_evictions.value());
+  append_kv(out, "failures", plan_failures.value(), false);
+  out += "},\"decode\":{";
+  append_kv(out, "decodes", decodes.value());
+  append_kv(out, "batches", batches.value());
+  append_kv(out, "stripes", stripes_decoded.value());
+  append_kv(out, "mult_xors", mult_xors.value());
+  append_kv(out, "bytes_touched", bytes_touched.value(), false);
+  out += "},\"latency\":{\"decode\":";
+  decode_seconds.append_json(out);
+  out += ",\"batch\":";
+  batch_seconds.append_json(out);
+  out += ",\"plan\":";
+  plan_seconds.append_json(out);
+  out += "}}";
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,146 @@
+// Lightweight observability primitives for the codec's hot paths.
+//
+// Everything here is safe for concurrent writers and concurrent readers
+// without external locking: counters are relaxed atomics (they count
+// events, they do not order them) and the latency histogram is a fixed
+// array of atomic buckets indexed by log2(nanoseconds). Recording costs
+// one clock read plus one relaxed fetch_add — cheap enough to leave on in
+// production serving paths.
+//
+// Readers (stats APIs, JSON export) observe each cell atomically but the
+// set of cells is not snapshotted as a unit; totals read while writers
+// are active are internally consistent per cell, approximate across
+// cells. That is the usual metrics contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ppm {
+
+/// Monotonic event counter. add()/value() are wait-free relaxed atomics.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log2-bucketed latency histogram. Bucket i counts samples with
+/// nanoseconds in [2^i, 2^(i+1)); 64 buckets cover every representable
+/// duration. Quantiles are estimated by linear interpolation inside the
+/// containing bucket, which is exact to within a factor-of-2 bucket width
+/// — plenty for serving dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record_seconds(double seconds) {
+    record_nanos(seconds <= 0
+                     ? 0
+                     : static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+  void record_nanos(std::uint64_t ns) {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double max_seconds() const {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double mean_seconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+  }
+
+  /// Estimated q-quantile (q in [0,1]) in seconds, from a point-in-time
+  /// read of the buckets. 0 when empty.
+  double quantile_seconds(double q) const;
+
+  /// Lower edge (inclusive) of bucket i in nanoseconds.
+  static std::uint64_t bucket_floor_ns(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+  }
+  /// Upper edge (exclusive) of bucket i in nanoseconds.
+  static std::uint64_t bucket_ceil_ns(std::size_t i) {
+    return i + 1 >= kBuckets ? ~std::uint64_t{0} : std::uint64_t{1} << (i + 1);
+  }
+
+  static std::size_t bucket_of(std::uint64_t ns) {
+    return ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
+  }
+
+  void reset();
+
+  /// Append `{"count":..,"mean_s":..,"p50_s":..,...,"buckets":[...]}` —
+  /// only non-empty buckets are listed, as [floor_ns, count] pairs.
+  void append_json(std::string& out) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// The codec's metric set: plan-cache traffic, decode volume, and
+/// latency distributions. One instance per Codec (aggregate across codecs
+/// in the application if desired); every member is individually
+/// thread-safe, so the struct needs no lock.
+struct CodecMetrics {
+  // Plan cache.
+  Counter plan_hits;        ///< plan_for served from cache
+  Counter plan_misses;      ///< plan_for had to build
+  Counter plan_evictions;   ///< cached plans discarded by LRU pressure
+  Counter plan_failures;    ///< undecodable scenarios (build returned null)
+
+  // Decode volume.
+  Counter decodes;          ///< single-stripe decode() calls
+  Counter batches;          ///< decode_batch() calls
+  Counter stripes_decoded;  ///< stripes across all batches + decodes
+  Counter mult_xors;        ///< region ops issued (the paper's C, summed)
+  Counter bytes_touched;    ///< source bytes read by region ops
+
+  // Latency.
+  LatencyHistogram decode_seconds;  ///< per-stripe decode() wall time
+  LatencyHistogram batch_seconds;   ///< decode_batch() wall time
+  LatencyHistogram plan_seconds;    ///< plan build time (cache misses only)
+
+  void reset();
+
+  /// One JSON object with every counter and histogram. Stable key names —
+  /// this is the export format of `ppm_cli batch --metrics` and the
+  /// ablation benches.
+  std::string to_json() const;
+};
+
+}  // namespace ppm

@@ -1,0 +1,158 @@
+// Sharded LRU cache keyed by failure-scenario block lists.
+//
+// The codec's plan cache is read under heavy multi-threaded traffic: every
+// decode starts with a lookup, and rebuild storms make many threads miss
+// on the same few keys at once. A single mutex around a std::map serializes
+// all of that. This cache splits the key space into N shards by key hash;
+// each shard holds an independent mutex, an intrusive LRU list and an
+// index, so lookups on different shards never contend and the critical
+// section per lookup is a list splice.
+//
+// Capacity is distributed across shards at construction (sum of shard
+// capacities == total capacity), so the total resident count never exceeds
+// the configured capacity regardless of how keys hash. Duplicate-free by
+// construction: the index owns one entry per key and eviction pops the
+// list tail, so the evicted-then-reinserted churn that corrupted the old
+// FIFO vector bookkeeping cannot occur.
+//
+// Thread-safety: every public method is safe to call concurrently. The
+// hit/miss/eviction counters are optional relaxed atomics (see
+// common/metrics.h) so stats reads never take a shard lock.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace ppm {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  using Key = std::vector<std::size_t>;
+
+  /// `capacity` total retained entries (>= 1 enforced); `shards` mutex
+  /// domains (0 = auto: min(8, capacity), always clamped to capacity so no
+  /// shard has capacity zero).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0,
+                           Counter* hits = nullptr, Counter* misses = nullptr,
+                           Counter* evictions = nullptr)
+      : hits_(hits), misses_(misses), evictions_(evictions) {
+    if (capacity == 0) capacity = 1;
+    if (shards == 0) shards = 8;
+    if (shards > capacity) shards = capacity;
+    capacity_ = capacity;
+    shards_.reserve(shards);
+    const std::size_t base = capacity / shards;
+    const std::size_t extra = capacity % shards;
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
+    }
+  }
+
+  /// Look up `key`; a hit bumps it to most-recently-used and returns a
+  /// copy of the value. Counts a hit or a miss.
+  std::optional<Value> get(const Key& key) {
+    Shard& s = shard_for(key);
+    {
+      const std::scoped_lock lock(s.mutex);
+      const auto it = s.index.find(key);
+      if (it != s.index.end()) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        if (hits_ != nullptr) hits_->add();
+        return it->second->second;
+      }
+    }
+    if (misses_ != nullptr) misses_->add();
+    return std::nullopt;
+  }
+
+  /// Insert `key -> value`, evicting the shard's least-recently-used entry
+  /// when at capacity. If another thread inserted the key while this one
+  /// was building the value (the benign double-build race), the existing
+  /// entry wins and is returned so every caller shares one instance.
+  Value insert(const Key& key, Value value) {
+    Shard& s = shard_for(key);
+    const std::scoped_lock lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->second;
+    }
+    while (s.lru.size() >= s.capacity) {
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      if (evictions_ != nullptr) evictions_->add();
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.lru.begin());
+    return s.lru.front().second;
+  }
+
+  /// Current resident entries, summed over shards (approximate while
+  /// writers are active, exact when quiescent).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      const std::scoped_lock lock(s->mutex);
+      total += s->lru.size();
+    }
+    return total;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Drop every entry (counts no evictions — this is an operator action,
+  /// not cache pressure).
+  void clear() {
+    for (const auto& s : shards_) {
+      const std::scoped_lock lock(s->mutex);
+      s->lru.clear();
+      s->index.clear();
+    }
+  }
+
+  /// FNV-1a over the key's words — stable shard placement for tests.
+  static std::size_t hash_key(const Key& key) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::size_t word : key) {
+      std::uint64_t w = word;
+      for (int i = 0; i < 8; ++i) {
+        h ^= w & 0xff;
+        h *= 1099511628211ull;
+        w >>= 8;
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+    mutable std::mutex mutex;
+    // front = most recently used; back is the eviction victim.
+    std::list<std::pair<Key, Value>> lru;
+    std::map<Key, typename std::list<std::pair<Key, Value>>::iterator> index;
+    std::size_t capacity;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return *shards_[hash_key(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+};
+
+}  // namespace ppm

@@ -154,6 +154,14 @@ std::optional<PpmResult> PpmDecoder::decode(const FailureScenario& scenario,
   }
   result.rest_seconds = rest_phase.seconds();
   result.seconds = total.seconds();
+  if (options_.metrics != nullptr) {
+    options_.metrics->decodes.add();
+    options_.metrics->stripes_decoded.add();
+    options_.metrics->mult_xors.add(result.stats.mult_xors);
+    options_.metrics->bytes_touched.add(result.stats.bytes_touched);
+    options_.metrics->decode_seconds.record_seconds(result.seconds);
+    options_.metrics->plan_seconds.record_seconds(result.plan_seconds);
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "codes/erasure_code.h"
+#include "common/metrics.h"
 #include "decode/scenario.h"
 #include "decode/traditional_decoder.h"
 #include "parallel/thread_pool.h"
@@ -30,6 +31,12 @@ struct PpmOptions {
   /// threads per decode — the paper's execution model, whose thread-start
   /// cost is part of what Fig. 9 measures against stripe size.
   ThreadPool* pool = nullptr;
+
+  /// Optional metric sink. When set, each successful decode records its
+  /// wall time, planning time and mult_XOR count (thread-safe; many
+  /// decoders may share one sink). The caller owns the instance and must
+  /// keep it alive for the decoder's lifetime.
+  CodecMetrics* metrics = nullptr;
 };
 
 struct PpmResult {

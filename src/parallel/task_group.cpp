@@ -4,19 +4,34 @@
 
 namespace ppm {
 
+// Note on notify-under-lock: the completion lambda (and the rollback path
+// below) notifies cv_ while still holding mutex_. Notifying after the
+// unlock would race ~TaskGroup — wait() could observe pending_ == 0 and
+// the owner destroy the group while the worker is still inside
+// notify_all() on the dead condition variable (caught by TSan). With the
+// lock held, wait() cannot return until the notifier has left the
+// critical section.
+
 void TaskGroup::add(std::function<void()> task) {
   {
     const std::scoped_lock lock(mutex_);
     ++pending_;
   }
-  pool_.submit([this, task = std::move(task)] {
-    task();
-    {
+  try {
+    pool_.submit([this, task = std::move(task)] {
+      task();
       const std::scoped_lock lock(mutex_);
       --pending_;
-    }
+      cv_.notify_all();
+    });
+  } catch (...) {
+    // Rejected by a stopped pool: the task will never run, so it must not
+    // count toward wait() — otherwise wait() (and ~TaskGroup) deadlocks.
+    const std::scoped_lock lock(mutex_);
+    --pending_;
     cv_.notify_all();
-  });
+    throw;
+  }
 }
 
 void TaskGroup::wait() {

@@ -11,6 +11,11 @@ namespace ppm {
 
 /// Tracks a set of tasks submitted to a ThreadPool; wait() blocks until
 /// every task added so far has completed. Tasks must not throw.
+///
+/// add() on a stopped pool rethrows the pool's std::runtime_error after
+/// rolling back its pending count, so wait()/~TaskGroup never block on a
+/// task that was rejected. One group may be fed from multiple threads;
+/// wait() is safe to call repeatedly and from any thread.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}

@@ -19,20 +19,37 @@ ThreadPool::ThreadPool(unsigned threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop();
+  // jthread joins in its destructor; workers exit once the queue drains.
+}
+
+void ThreadPool::stop() {
   {
     const std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  // jthread joins in its destructor.
+}
+
+bool ThreadPool::stopping() const {
+  const std::scoped_lock lock(mutex_);
+  return stopping_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (!try_submit(std::move(task))) {
+    throw std::runtime_error("ThreadPool: submit after stop");
+  }
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
   {
     const std::scoped_lock lock(mutex_);
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::worker_loop() {

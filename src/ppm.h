@@ -34,7 +34,9 @@
 #include "codes/xorbas_lrc_code.h"
 #include "common/aligned_buffer.h"
 #include "common/cpu.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/sharded_lru.h"
 #include "common/timer.h"
 #include "decode/block_parallel_decoder.h"
 #include "decode/cost_model.h"

@@ -43,20 +43,91 @@ TEST(Codec, PlanIsCachedAcrossDecodes) {
   EXPECT_EQ(codec.cache_size(), 1u);
 }
 
-TEST(Codec, CacheEvictsFifoAtCapacity) {
+TEST(Codec, CacheEvictsLruAtCapacity) {
   const SDCode code(4, 4, 1, 1, 8, {1, 2});
   Codec::Options opts;
   opts.cache_capacity = 2;
+  opts.cache_shards = 1;  // single shard: deterministic global LRU order
   Codec codec(code, opts);
-  // Three distinct single-block scenarios.
-  for (const std::size_t b : {0u, 1u, 2u}) {
+  for (const std::size_t b : {0u, 1u}) {
     EXPECT_NE(codec.plan_for(FailureScenario({b})), nullptr);
   }
+  // Touch {0}: {1} becomes the LRU victim of the next insert.
+  EXPECT_NE(codec.plan_for(FailureScenario({0})), nullptr);
+  EXPECT_EQ(codec.cache_hits(), 1u);
+  EXPECT_NE(codec.plan_for(FailureScenario({2})), nullptr);
   EXPECT_EQ(codec.cache_size(), 2u);
-  // Scenario {0} was evicted; re-planning it is a miss.
+  EXPECT_EQ(codec.cache_evictions(), 1u);
+  // {0} survived (recently used); {1} was evicted, re-planning it misses.
   const std::size_t misses = codec.cache_misses();
   EXPECT_NE(codec.plan_for(FailureScenario({0})), nullptr);
+  EXPECT_EQ(codec.cache_misses(), misses);
+  EXPECT_NE(codec.plan_for(FailureScenario({1})), nullptr);
   EXPECT_EQ(codec.cache_misses(), misses + 1);
+}
+
+TEST(Codec, CacheChurnKeepsBookkeepingConsistent) {
+  // Evicted-then-reinserted scenarios must not corrupt the eviction order
+  // (the old FIFO vector accumulated duplicate keys under this pattern).
+  const SDCode code(4, 4, 1, 1, 8, {1, 2});
+  Codec::Options opts;
+  opts.cache_capacity = 2;
+  opts.cache_shards = 1;
+  Codec codec(code, opts);
+  for (int round = 0; round < 6; ++round) {
+    for (const std::size_t b : {0u, 1u, 2u, 3u}) {
+      ASSERT_NE(codec.plan_for(FailureScenario({b})), nullptr);
+      ASSERT_LE(codec.cache_size(), 2u);
+    }
+  }
+  EXPECT_EQ(codec.cache_hits() + codec.cache_misses(), 24u);
+  // Every miss inserted a plan; all but the residents were evicted.
+  EXPECT_EQ(codec.cache_evictions(),
+            codec.cache_misses() - codec.cache_size());
+  // A plan held by a caller survives eviction (shared_ptr pins it).
+  const auto pinned = codec.plan_for(FailureScenario({0}));
+  ASSERT_NE(pinned, nullptr);
+  for (const std::size_t b : {1u, 2u, 3u}) {
+    ASSERT_NE(codec.plan_for(FailureScenario({b})), nullptr);
+  }
+  EXPECT_GT(pinned->cost(), 0u);  // still valid after being evicted
+}
+
+TEST(Codec, ShardedCacheBoundsTotalResidency) {
+  const SDCode code(8, 4, 2, 2, 8);
+  Codec::Options opts;
+  opts.cache_capacity = 8;
+  Codec codec(code, opts);
+  EXPECT_EQ(codec.cache_shards(), 8u);
+  ScenarioGenerator gen(549);
+  for (int i = 0; i < 40; ++i) {
+    const auto g = gen.sd_worst_case(code, 2, 2, 1);
+    ASSERT_NE(codec.plan_for(g.scenario), nullptr);
+    ASSERT_LE(codec.cache_size(), 8u);
+  }
+}
+
+TEST(Codec, MetricsJsonReflectsTraffic) {
+  const SDCode code(8, 8, 2, 2, 8);
+  Codec codec(code);
+  Stripe stripe(code, 256);
+  const auto snap = test::fill_and_encode(code, stripe, 550);
+  ScenarioGenerator gen(551);
+  const auto g = gen.sd_worst_case(code, 2, 2, 1);
+  for (int i = 0; i < 3; ++i) {
+    stripe.erase(g.scenario);
+    ASSERT_TRUE(codec.decode(g.scenario, stripe.block_ptrs(), 256));
+  }
+  EXPECT_TRUE(stripe.equals(snap));
+  EXPECT_EQ(codec.metrics().decodes.value(), 3u);
+  EXPECT_EQ(codec.metrics().decode_seconds.count(), 3u);
+  EXPECT_EQ(codec.metrics().plan_seconds.count(), 1u);  // one miss, one build
+  const auto costs = analyze_costs(code, g.scenario);
+  EXPECT_EQ(codec.metrics().mult_xors.value(), 3 * costs->ppm_best());
+  const std::string json = codec.metrics_json();
+  EXPECT_NE(json.find("\"hits\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"evictions\":0"), std::string::npos) << json;
 }
 
 TEST(Codec, UndecodableScenarioReturnsFalse) {

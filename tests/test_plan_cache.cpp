@@ -1,0 +1,101 @@
+// The sharded LRU cache backing the codec's plan cache.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/sharded_lru.h"
+
+namespace ppm {
+namespace {
+
+using Cache = ShardedLruCache<int>;
+using Key = Cache::Key;
+
+TEST(ShardedLruCache, CapacityAndShardClamping) {
+  EXPECT_EQ(Cache(0).capacity(), 1u);      // zero capacity -> 1
+  EXPECT_EQ(Cache(0).shard_count(), 1u);   // shards clamp to capacity
+  EXPECT_EQ(Cache(3).shard_count(), 3u);   // auto shards = min(8, capacity)
+  EXPECT_EQ(Cache(64).shard_count(), 8u);
+  EXPECT_EQ(Cache(8, 16).shard_count(), 8u);
+  EXPECT_EQ(Cache(10, 4).capacity(), 10u);  // capacity preserved exactly
+}
+
+TEST(ShardedLruCache, SingleShardEvictsLeastRecentlyUsed) {
+  Cache cache(2, 1);
+  cache.insert({1}, 10);
+  cache.insert({2}, 20);
+  // Touch {1}: now {2} is the LRU victim.
+  EXPECT_EQ(cache.get({1}).value(), 10);
+  cache.insert({3}, 30);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get({1}).has_value());
+  EXPECT_FALSE(cache.get({2}).has_value());
+  EXPECT_TRUE(cache.get({3}).has_value());
+}
+
+TEST(ShardedLruCache, InsertOfExistingKeyKeepsFirstValue) {
+  Cache cache(4, 1);
+  EXPECT_EQ(cache.insert({7}, 1), 1);
+  // Benign double-build race: the second insert loses.
+  EXPECT_EQ(cache.insert({7}, 2), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get({7}).value(), 1);
+}
+
+TEST(ShardedLruCache, ChurnNeverExceedsCapacityAndCountsEvictions) {
+  Counter hits;
+  Counter misses;
+  Counter evictions;
+  Cache cache(4, 2, &hits, &misses, &evictions);
+  // Evict-then-reinsert churn over a working set larger than capacity:
+  // with the old FIFO-vector bookkeeping this accumulated duplicate keys
+  // and broke eviction; the LRU index holds one entry per key.
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      if (!cache.get({k}).has_value()) {
+        cache.insert({k}, static_cast<int>(k));
+      }
+      ASSERT_LE(cache.size(), 4u);
+    }
+  }
+  EXPECT_EQ(hits.value() + misses.value(), 80u);
+  // Every miss inserted; inserts beyond capacity evicted.
+  EXPECT_EQ(evictions.value(), misses.value() - cache.size());
+}
+
+TEST(ShardedLruCache, TotalResidencyIsBoundedAcrossShards) {
+  // However keys hash, the per-shard capacities sum to the total.
+  Cache cache(8, 4);
+  for (std::size_t k = 0; k < 100; ++k) cache.insert({k, k + 1}, 1);
+  EXPECT_LE(cache.size(), 8u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedLruCache, ConcurrentMixedTraffic) {
+  Counter hits;
+  Counter misses;
+  Counter evictions;
+  Cache cache(8, 0, &hits, &misses, &evictions);
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const Key key{static_cast<std::size_t>((i * 7 + t) % 32)};
+        if (auto v = cache.get(key)) {
+          ASSERT_EQ(*v, static_cast<int>(key[0]));
+        } else {
+          cache.insert(key, static_cast<int>(key[0]));
+        }
+        if (i % 64 == 0) ASSERT_LE(cache.size(), 8u);
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_EQ(hits.value() + misses.value(), 8u * 2000u);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+}  // namespace
+}  // namespace ppm

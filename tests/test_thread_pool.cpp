@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <thread>
 
 #include "common/cpu.h"
 #include "parallel/task_group.h"
@@ -50,6 +52,72 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   }
   // All queued work ran before the pool tore down.
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.stopping());
+  pool.stop();
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  EXPECT_FALSE(pool.try_submit([] {}));
+  pool.stop();  // idempotent
+}
+
+TEST(ThreadPool, StopStillRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.stop();  // tasks accepted before stop() must still run
+    EXPECT_THROW(pool.submit([&ran] { ran.fetch_add(100); }),
+                 std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+// Regression for the old silent-drop bug: a submit that raced shutdown
+// used to enqueue a task no worker would ever pop. Contract now: each
+// try_submit either returns true (the task WILL run before the workers
+// exit) or false — so after the drain, ran == accepted exactly.
+TEST(ThreadPool, SubmitVsStopRaceNeverDropsAcceptedTasks) {
+  for (int iter = 0; iter < 10; ++iter) {
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    {
+      ThreadPool pool(2);
+      std::jthread producer([&] {
+        for (int i = 0; i < 100000; ++i) {
+          if (!pool.try_submit(
+                  [&ran] { ran.fetch_add(1, std::memory_order_relaxed); })) {
+            return;  // pool stopped mid-loop
+          }
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * iter));
+      pool.stop();
+      producer.join();
+    }  // ~ThreadPool drains the queue and joins the workers here.
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(TaskGroup, AddOnStoppedPoolThrowsAndWaitReturns) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  group.add([&ran] { ran.fetch_add(1); });
+  group.wait();
+  pool.stop();
+  EXPECT_THROW(group.add([&ran] { ran.fetch_add(1); }), std::runtime_error);
+  group.wait();  // rejected task must not leave pending_ stuck -> no hang
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(TaskGroup, WaitIsReusable) {
