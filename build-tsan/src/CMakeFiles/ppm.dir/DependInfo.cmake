@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/closed_form.cpp" "src/CMakeFiles/ppm.dir/analysis/closed_form.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/analysis/closed_form.cpp.o.d"
+  "/root/repo/src/codec/codec.cpp" "src/CMakeFiles/ppm.dir/codec/codec.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codec/codec.cpp.o.d"
+  "/root/repo/src/codec/update.cpp" "src/CMakeFiles/ppm.dir/codec/update.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codec/update.cpp.o.d"
+  "/root/repo/src/codes/coeff_search.cpp" "src/CMakeFiles/ppm.dir/codes/coeff_search.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/coeff_search.cpp.o.d"
+  "/root/repo/src/codes/crs_code.cpp" "src/CMakeFiles/ppm.dir/codes/crs_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/crs_code.cpp.o.d"
+  "/root/repo/src/codes/erasure_code.cpp" "src/CMakeFiles/ppm.dir/codes/erasure_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/erasure_code.cpp.o.d"
+  "/root/repo/src/codes/evenodd_code.cpp" "src/CMakeFiles/ppm.dir/codes/evenodd_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/evenodd_code.cpp.o.d"
+  "/root/repo/src/codes/lrc_code.cpp" "src/CMakeFiles/ppm.dir/codes/lrc_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/lrc_code.cpp.o.d"
+  "/root/repo/src/codes/pmds_code.cpp" "src/CMakeFiles/ppm.dir/codes/pmds_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/pmds_code.cpp.o.d"
+  "/root/repo/src/codes/rdp_code.cpp" "src/CMakeFiles/ppm.dir/codes/rdp_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/rdp_code.cpp.o.d"
+  "/root/repo/src/codes/rs_code.cpp" "src/CMakeFiles/ppm.dir/codes/rs_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/rs_code.cpp.o.d"
+  "/root/repo/src/codes/sd_code.cpp" "src/CMakeFiles/ppm.dir/codes/sd_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/sd_code.cpp.o.d"
+  "/root/repo/src/codes/star_code.cpp" "src/CMakeFiles/ppm.dir/codes/star_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/star_code.cpp.o.d"
+  "/root/repo/src/codes/xorbas_lrc_code.cpp" "src/CMakeFiles/ppm.dir/codes/xorbas_lrc_code.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/codes/xorbas_lrc_code.cpp.o.d"
+  "/root/repo/src/common/aligned_buffer.cpp" "src/CMakeFiles/ppm.dir/common/aligned_buffer.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/aligned_buffer.cpp.o.d"
+  "/root/repo/src/common/cpu.cpp" "src/CMakeFiles/ppm.dir/common/cpu.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/cpu.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/ppm.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/common/metrics.cpp.o.d"
+  "/root/repo/src/decode/block_parallel_decoder.cpp" "src/CMakeFiles/ppm.dir/decode/block_parallel_decoder.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/block_parallel_decoder.cpp.o.d"
+  "/root/repo/src/decode/cost_model.cpp" "src/CMakeFiles/ppm.dir/decode/cost_model.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/cost_model.cpp.o.d"
+  "/root/repo/src/decode/degraded_read.cpp" "src/CMakeFiles/ppm.dir/decode/degraded_read.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/degraded_read.cpp.o.d"
+  "/root/repo/src/decode/log_table.cpp" "src/CMakeFiles/ppm.dir/decode/log_table.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/log_table.cpp.o.d"
+  "/root/repo/src/decode/partition.cpp" "src/CMakeFiles/ppm.dir/decode/partition.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/partition.cpp.o.d"
+  "/root/repo/src/decode/plan.cpp" "src/CMakeFiles/ppm.dir/decode/plan.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/plan.cpp.o.d"
+  "/root/repo/src/decode/ppm_decoder.cpp" "src/CMakeFiles/ppm.dir/decode/ppm_decoder.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/ppm_decoder.cpp.o.d"
+  "/root/repo/src/decode/scenario.cpp" "src/CMakeFiles/ppm.dir/decode/scenario.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/scenario.cpp.o.d"
+  "/root/repo/src/decode/traditional_decoder.cpp" "src/CMakeFiles/ppm.dir/decode/traditional_decoder.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/traditional_decoder.cpp.o.d"
+  "/root/repo/src/decode/xor_schedule.cpp" "src/CMakeFiles/ppm.dir/decode/xor_schedule.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/decode/xor_schedule.cpp.o.d"
+  "/root/repo/src/gf/gf16.cpp" "src/CMakeFiles/ppm.dir/gf/gf16.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/gf16.cpp.o.d"
+  "/root/repo/src/gf/gf32.cpp" "src/CMakeFiles/ppm.dir/gf/gf32.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/gf32.cpp.o.d"
+  "/root/repo/src/gf/gf32_clmul.cpp" "src/CMakeFiles/ppm.dir/gf/gf32_clmul.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/gf32_clmul.cpp.o.d"
+  "/root/repo/src/gf/gf8.cpp" "src/CMakeFiles/ppm.dir/gf/gf8.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/gf8.cpp.o.d"
+  "/root/repo/src/gf/gf_core.cpp" "src/CMakeFiles/ppm.dir/gf/gf_core.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/gf_core.cpp.o.d"
+  "/root/repo/src/gf/region_avx2.cpp" "src/CMakeFiles/ppm.dir/gf/region_avx2.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/region_avx2.cpp.o.d"
+  "/root/repo/src/gf/region_avx512.cpp" "src/CMakeFiles/ppm.dir/gf/region_avx512.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/region_avx512.cpp.o.d"
+  "/root/repo/src/gf/region_dispatch.cpp" "src/CMakeFiles/ppm.dir/gf/region_dispatch.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/region_dispatch.cpp.o.d"
+  "/root/repo/src/gf/region_scalar.cpp" "src/CMakeFiles/ppm.dir/gf/region_scalar.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/region_scalar.cpp.o.d"
+  "/root/repo/src/gf/region_ssse3.cpp" "src/CMakeFiles/ppm.dir/gf/region_ssse3.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/gf/region_ssse3.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "src/CMakeFiles/ppm.dir/matrix/matrix.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/matrix/matrix.cpp.o.d"
+  "/root/repo/src/matrix/solve.cpp" "src/CMakeFiles/ppm.dir/matrix/solve.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/matrix/solve.cpp.o.d"
+  "/root/repo/src/parallel/task_group.cpp" "src/CMakeFiles/ppm.dir/parallel/task_group.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/parallel/task_group.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/ppm.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/array_sim.cpp" "src/CMakeFiles/ppm.dir/sim/array_sim.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/sim/array_sim.cpp.o.d"
+  "/root/repo/src/workload/scenario_gen.cpp" "src/CMakeFiles/ppm.dir/workload/scenario_gen.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/workload/scenario_gen.cpp.o.d"
+  "/root/repo/src/workload/stripe.cpp" "src/CMakeFiles/ppm.dir/workload/stripe.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/workload/stripe.cpp.o.d"
+  "/root/repo/src/workload/verify.cpp" "src/CMakeFiles/ppm.dir/workload/verify.cpp.o" "gcc" "src/CMakeFiles/ppm.dir/workload/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_array_sim.cpp" "tests/CMakeFiles/ppm_tests.dir/test_array_sim.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_array_sim.cpp.o.d"
+  "/root/repo/tests/test_block_parallel.cpp" "tests/CMakeFiles/ppm_tests.dir/test_block_parallel.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_block_parallel.cpp.o.d"
+  "/root/repo/tests/test_closed_form.cpp" "tests/CMakeFiles/ppm_tests.dir/test_closed_form.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_closed_form.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_codec_concurrency.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codec_concurrency.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codec_concurrency.cpp.o.d"
+  "/root/repo/tests/test_codes_array.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_array.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_array.cpp.o.d"
+  "/root/repo/tests/test_codes_crs.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_crs.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_crs.cpp.o.d"
+  "/root/repo/tests/test_codes_lrc.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_lrc.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_lrc.cpp.o.d"
+  "/root/repo/tests/test_codes_pmds.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_pmds.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_pmds.cpp.o.d"
+  "/root/repo/tests/test_codes_rs.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_rs.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_rs.cpp.o.d"
+  "/root/repo/tests/test_codes_sd.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_sd.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_sd.cpp.o.d"
+  "/root/repo/tests/test_codes_star.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_star.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_star.cpp.o.d"
+  "/root/repo/tests/test_codes_xorbas.cpp" "tests/CMakeFiles/ppm_tests.dir/test_codes_xorbas.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_codes_xorbas.cpp.o.d"
+  "/root/repo/tests/test_coeff_search.cpp" "tests/CMakeFiles/ppm_tests.dir/test_coeff_search.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_coeff_search.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/ppm_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/ppm_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_degraded_read.cpp" "tests/CMakeFiles/ppm_tests.dir/test_degraded_read.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_degraded_read.cpp.o.d"
+  "/root/repo/tests/test_fuzz_random_codes.cpp" "tests/CMakeFiles/ppm_tests.dir/test_fuzz_random_codes.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_fuzz_random_codes.cpp.o.d"
+  "/root/repo/tests/test_gf_field.cpp" "tests/CMakeFiles/ppm_tests.dir/test_gf_field.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_gf_field.cpp.o.d"
+  "/root/repo/tests/test_gf_region.cpp" "tests/CMakeFiles/ppm_tests.dir/test_gf_region.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_gf_region.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ppm_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_log_table.cpp" "tests/CMakeFiles/ppm_tests.dir/test_log_table.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_log_table.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ppm_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/ppm_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/ppm_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/ppm_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_plan_cache.cpp" "tests/CMakeFiles/ppm_tests.dir/test_plan_cache.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_plan_cache.cpp.o.d"
+  "/root/repo/tests/test_ppm_decoder.cpp" "tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_ppm_decoder.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/ppm_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_solve.cpp" "tests/CMakeFiles/ppm_tests.dir/test_solve.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_solve.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/ppm_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_traditional_decoder.cpp" "tests/CMakeFiles/ppm_tests.dir/test_traditional_decoder.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_traditional_decoder.cpp.o.d"
+  "/root/repo/tests/test_update.cpp" "tests/CMakeFiles/ppm_tests.dir/test_update.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_update.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/ppm_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/ppm_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_xor_schedule.cpp" "tests/CMakeFiles/ppm_tests.dir/test_xor_schedule.cpp.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_xor_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ppm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

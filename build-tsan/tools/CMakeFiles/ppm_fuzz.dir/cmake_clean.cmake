@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_fuzz.dir/ppm_fuzz.cpp.o"
+  "CMakeFiles/ppm_fuzz.dir/ppm_fuzz.cpp.o.d"
+  "ppm_fuzz"
+  "ppm_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
