@@ -9,6 +9,7 @@
 #include "codes/rdp_code.h"
 #include "decode/xor_schedule.h"
 #include "matrix/solve.h"
+#include "verify_plan/plan_verify.h"
 
 #include "bench_common.h"
 
@@ -41,6 +42,13 @@ void report(const char* label, const ErasureCode& code,
   if (!schedule.has_value()) {
     std::printf("%-22s (decode matrix not binary — skipped)\n", label);
     return;
+  }
+  // Never time a schedule that is not statically proven sound.
+  const auto verdict = planverify::verify_xor_schedule(g, *schedule);
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "%s: schedule failed verification:\n%s\n", label,
+                 planverify::to_json(verdict.violations).c_str());
+    std::exit(1);
   }
   // Time naive vs scheduled application over regions.
   std::vector<AlignedBuffer> src_store;

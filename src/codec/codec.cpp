@@ -1,14 +1,24 @@
 #include "codec/codec.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/cpu.h"
 #include "common/timer.h"
 #include "decode/log_table.h"
 #include "decode/partition.h"
 #include "parallel/task_group.h"
+#include "verify_plan/plan_verify.h"
 
 namespace ppm {
+
+CachedPlan CachedPlan::assemble(std::vector<SubPlan> groups,
+                                std::optional<SubPlan> rest) {
+  CachedPlan plan;
+  plan.group_plans_ = std::move(groups);
+  plan.rest_plan_ = std::move(rest);
+  return plan;
+}
 
 std::size_t CachedPlan::cost() const {
   std::size_t c = 0;
@@ -77,6 +87,21 @@ std::shared_ptr<const CachedPlan> Codec::plan_for(
     metrics_.plan_failures.add();
     return nullptr;
   }
+#ifdef PPM_VERIFY_PLANS
+  // Statically prove the plan sound before it can touch a byte (Debug /
+  // -DPPM_VERIFY_PLANS=ON builds). A violation is a library bug; serving
+  // a provably wrong plan would corrupt every stripe it decodes, so fail
+  // loudly instead of returning it.
+  {
+    const auto verdict = planverify::verify_plan(*code_, scenario, *plan);
+    if (!verdict.ok()) {
+      metrics_.plan_verify_failures.add();
+      throw std::logic_error("PPM_VERIFY_PLANS: plan rejected: " +
+                             planverify::to_json(verdict.violations));
+    }
+    metrics_.plans_verified.add();
+  }
+#endif
   metrics_.plan_seconds.record_seconds(build.seconds());
   return cache_.insert(key, std::move(plan));
 }

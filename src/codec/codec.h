@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "codes/erasure_code.h"
@@ -48,6 +49,19 @@ class CachedPlan {
   /// many of these concurrently.
   void execute(std::uint8_t* const* blocks, std::size_t block_bytes,
                DecodeStats* stats = nullptr) const;
+
+  /// The independent-group sub-plans, in execution order.
+  std::span<const SubPlan> groups() const { return group_plans_; }
+
+  /// The H_rest sub-plan, executed after every group (its survivors may
+  /// therefore include group-recovered blocks).
+  const std::optional<SubPlan>& rest() const { return rest_plan_; }
+
+  /// Assemble a plan from explicit sub-plans, bypassing the planner. For
+  /// verification tooling and tests (verify_plan/ exercises hand-corrupted
+  /// plans); nothing is validated here.
+  static CachedPlan assemble(std::vector<SubPlan> groups,
+                             std::optional<SubPlan> rest);
 
  private:
   friend class Codec;

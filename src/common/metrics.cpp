@@ -93,6 +93,8 @@ void CodecMetrics::reset() {
   plan_misses.reset();
   plan_evictions.reset();
   plan_failures.reset();
+  plans_verified.reset();
+  plan_verify_failures.reset();
   decodes.reset();
   batches.reset();
   stripes_decoded.reset();
@@ -110,7 +112,9 @@ std::string CodecMetrics::to_json() const {
   append_kv(out, "hits", plan_hits.value());
   append_kv(out, "misses", plan_misses.value());
   append_kv(out, "evictions", plan_evictions.value());
-  append_kv(out, "failures", plan_failures.value(), false);
+  append_kv(out, "failures", plan_failures.value());
+  append_kv(out, "verified", plans_verified.value());
+  append_kv(out, "verify_failures", plan_verify_failures.value(), false);
   out += "},\"decode\":{";
   append_kv(out, "decodes", decodes.value());
   append_kv(out, "batches", batches.value());

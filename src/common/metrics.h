@@ -123,6 +123,11 @@ struct CodecMetrics {
   Counter plan_evictions;   ///< cached plans discarded by LRU pressure
   Counter plan_failures;    ///< undecodable scenarios (build returned null)
 
+  // Plan verification (populated in PPM_VERIFY_PLANS / Debug builds,
+  // where every built plan runs through ppm::planverify before insertion).
+  Counter plans_verified;        ///< plans proven sound before caching
+  Counter plan_verify_failures;  ///< plans rejected by the verifier
+
   // Decode volume.
   Counter decodes;          ///< single-stripe decode() calls
   Counter batches;          ///< decode_batch() calls

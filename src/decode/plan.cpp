@@ -16,6 +16,7 @@ namespace {
 // invertible row subset and invert. Returns false when unsolvable.
 struct Prepared {
   std::vector<std::size_t> survivors;
+  std::vector<std::size_t> h_rows;  // selected rows, as indices into h
   Matrix finv;
   Matrix s_used;
 };
@@ -40,8 +41,14 @@ std::optional<Prepared> prepare(const Matrix& h,
   auto finv = f_square.inverse();
   if (!finv.has_value()) return std::nullopt;  // unreachable after rowsel
 
+  std::vector<std::size_t> h_rows(rowsel->size());
+  for (std::size_t i = 0; i < rowsel->size(); ++i) {
+    h_rows[i] = rows[(*rowsel)[i]];
+  }
+
   Matrix s_used = sub.select_columns(survivors).select_rows(*rowsel);
-  return Prepared{std::move(survivors), std::move(*finv), std::move(s_used)};
+  return Prepared{std::move(survivors), std::move(h_rows), std::move(*finv),
+                  std::move(s_used)};
 }
 
 }  // namespace
@@ -57,6 +64,7 @@ std::optional<SubPlan> SubPlan::make(const Matrix& h,
   SubPlan plan(h.field(), seq);
   plan.unknowns_.assign(unknowns.begin(), unknowns.end());
   plan.survivors_ = std::move(prep->survivors);
+  plan.rows_ = std::move(prep->h_rows);
   if (seq == Sequence::kNormal) {
     plan.cost_ = prep->finv.nonzeros() + prep->s_used.nonzeros();
     plan.finv_ = std::move(prep->finv);
@@ -83,6 +91,23 @@ std::optional<std::pair<std::size_t, std::size_t>> SubPlan::sequence_costs(
   const std::size_t normal = prep->finv.nonzeros() + prep->s_used.nonzeros();
   const std::size_t mf = (prep->finv * prep->s_used).nonzeros();
   return std::make_pair(normal, mf);
+}
+
+SubPlan SubPlan::from_parts(const gf::Field& f, Sequence seq,
+                            std::vector<std::size_t> unknowns,
+                            std::vector<std::size_t> survivors,
+                            std::vector<std::size_t> check_rows, Matrix finv,
+                            Matrix s, std::size_t cost,
+                            std::size_t source_blocks) {
+  SubPlan plan(f, seq);
+  plan.unknowns_ = std::move(unknowns);
+  plan.survivors_ = std::move(survivors);
+  plan.rows_ = std::move(check_rows);
+  plan.finv_ = std::move(finv);
+  plan.s_ = std::move(s);
+  plan.cost_ = cost;
+  plan.source_blocks_ = source_blocks;
+  return plan;
 }
 
 namespace {

@@ -43,6 +43,19 @@ class SubPlan {
   std::span<const std::size_t> unknowns() const { return unknowns_; }
   std::span<const std::size_t> survivors() const { return survivors_; }
 
+  /// Rows of the planning-time parity-check matrix H that back this plan
+  /// (the square selection whose restriction to `unknowns` is F). Recorded
+  /// so verify_plan/ can re-derive F and S independently of the solver.
+  std::span<const std::size_t> check_rows() const { return rows_; }
+
+  /// The left matrix applied at execution time: F⁻¹ (f×f) for kNormal,
+  /// G = F⁻¹·S (f×|survivors|) for kMatrixFirst.
+  const Matrix& finv() const { return finv_; }
+
+  /// The survivor matrix S (f×|survivors|) for kNormal; empty (0×0) for
+  /// kMatrixFirst. Exposed for the plan verifier.
+  const Matrix& s() const { return s_; }
+
   /// Exact mult_XOR count of executing this plan.
   std::size_t cost() const { return cost_; }
 
@@ -75,6 +88,17 @@ class SubPlan {
       std::span<const std::size_t> unknowns,
       std::span<const std::size_t> excluded);
 
+  /// Assemble a SubPlan from explicit parts, bypassing the planner. For
+  /// verification tooling and tests only (verify_plan/ needs plans with
+  /// deliberately corrupted internals); nothing validates the parts here —
+  /// that is the verifier's job.
+  static SubPlan from_parts(const gf::Field& f, Sequence seq,
+                            std::vector<std::size_t> unknowns,
+                            std::vector<std::size_t> survivors,
+                            std::vector<std::size_t> check_rows, Matrix finv,
+                            Matrix s, std::size_t cost,
+                            std::size_t source_blocks);
+
  private:
   SubPlan(const gf::Field& f, Sequence seq)
       : seq_(seq), finv_(f, 0, 0), s_(f, 0, 0) {}
@@ -82,6 +106,7 @@ class SubPlan {
   Sequence seq_;
   std::vector<std::size_t> unknowns_;   // blocks written (f of them)
   std::vector<std::size_t> survivors_;  // blocks read
+  std::vector<std::size_t> rows_;       // H rows used (post row-selection)
   // Normal: finv_ (f×f) and s_ (f×|survivors|) both used.
   // MatrixFirst: finv_ holds G = F⁻¹·S (f×|survivors|); s_ is empty.
   Matrix finv_;

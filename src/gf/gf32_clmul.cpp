@@ -28,7 +28,7 @@ Element gf32_mul_clmul(Element a, Element b) {
   // until the value fits in 32 bits.
   const __m128i q = _mm_set_epi64x(0, 0x400007);
   while (r >> 32) {
-    const __m128i hi = _mm_set_epi64x(0, r >> 32);
+    const __m128i hi = _mm_set_epi64x(0, static_cast<long long>(r >> 32));
     const std::uint64_t folded = static_cast<std::uint64_t>(
         _mm_cvtsi128_si64(_mm_clmulepi64_si128(hi, q, 0)));
     r = (r & 0xFFFFFFFFu) ^ folded;

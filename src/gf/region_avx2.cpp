@@ -122,7 +122,8 @@ void run_w32(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes,
     __m256i idx[8];
     for (unsigned k = 0; k < 8; ++k) {
       const __m256i srcv = (k & 1) ? hi : lo;
-      idx[k] = _mm256_and_si256(_mm256_srli_epi32(srcv, 8 * (k / 2)), low32);
+      idx[k] = _mm256_and_si256(
+          _mm256_srli_epi32(srcv, static_cast<int>(8 * (k / 2))), low32);
     }
     __m256i p = _mm256_setzero_si256();
     for (unsigned b = 0; b < 4; ++b) {
@@ -130,7 +131,8 @@ void run_w32(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes,
       for (unsigned k = 1; k < 8; ++k) {
         pb = _mm256_xor_si256(pb, _mm256_shuffle_epi8(tab[k][b], idx[k]));
       }
-      p = _mm256_xor_si256(p, _mm256_slli_epi32(pb, 8 * b));
+      p = _mm256_xor_si256(p,
+                           _mm256_slli_epi32(pb, static_cast<int>(8 * b)));
     }
     emit<Xor>(dst + i, p);
   }

@@ -135,7 +135,8 @@ void run_w32(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes,
     __m128i idx[8];
     for (unsigned k = 0; k < 8; ++k) {
       const __m128i srcv = (k & 1) ? hi : lo;
-      idx[k] = _mm_and_si128(_mm_srli_epi32(srcv, 8 * (k / 2)), low32);
+      idx[k] = _mm_and_si128(
+          _mm_srli_epi32(srcv, static_cast<int>(8 * (k / 2))), low32);
     }
     __m128i p = _mm_setzero_si128();
     for (unsigned b = 0; b < 4; ++b) {
@@ -143,7 +144,7 @@ void run_w32(std::uint8_t* dst, const std::uint8_t* src, std::size_t bytes,
       for (unsigned k = 1; k < 8; ++k) {
         pb = _mm_xor_si128(pb, _mm_shuffle_epi8(tab[k][b], idx[k]));
       }
-      p = _mm_xor_si128(p, _mm_slli_epi32(pb, 8 * b));
+      p = _mm_xor_si128(p, _mm_slli_epi32(pb, static_cast<int>(8 * b)));
     }
     emit<Xor>(dst + i, p);
   }

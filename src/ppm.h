@@ -53,6 +53,8 @@
 #include "matrix/solve.h"
 #include "parallel/task_group.h"
 #include "sim/array_sim.h"
+#include "verify_plan/plan_verify.h"
+#include "verify_plan/violation.h"
 #include "parallel/thread_pool.h"
 #include "workload/scenario_gen.h"
 #include "workload/stripe.h"

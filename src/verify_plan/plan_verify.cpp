@@ -1,0 +1,376 @@
+#include "verify_plan/plan_verify.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ppm::planverify {
+
+namespace {
+
+std::string size_str(std::size_t v) { return std::to_string(v); }
+
+void report(std::vector<Violation>& out, ViolationKind kind,
+            std::size_t sub_plan, std::size_t op, std::string message) {
+  out.push_back(Violation{kind, sub_plan, op, std::move(message)});
+}
+
+/// Report one violation per duplicated value in `values`.
+void check_duplicates(std::span<const std::size_t> values, const char* what,
+                      std::size_t sub_index, std::vector<Violation>& out) {
+  std::vector<std::size_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1] && (i < 2 || sorted[i] != sorted[i - 2])) {
+      report(out, ViolationKind::kDuplicateIndex, sub_index, kNoIndex,
+             std::string(what) + " index " + size_str(sorted[i]) +
+                 " appears more than once");
+    }
+  }
+}
+
+// Bitset-over-columns helpers shared with the XOR replay.
+using BitRow = std::vector<std::uint64_t>;
+
+BitRow unit_bit(std::size_t cols, std::size_t c) {
+  BitRow bits((cols + 63) / 64, 0);
+  bits[c / 64] |= std::uint64_t{1} << (c % 64);
+  return bits;
+}
+
+BitRow matrix_row_bits(const Matrix& g, std::size_t row) {
+  BitRow bits((g.cols() + 63) / 64, 0);
+  for (std::size_t c = 0; c < g.cols(); ++c) {
+    if (g(row, c) != 0) bits[c / 64] |= std::uint64_t{1} << (c % 64);
+  }
+  return bits;
+}
+
+std::size_t bit_count(const BitRow& bits) {
+  std::size_t n = 0;
+  for (const std::uint64_t w : bits) {
+    n += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+}  // namespace
+
+void verify_subplan(const Matrix& h, const SubPlan& sub,
+                    std::span<const std::size_t> forbidden_sources,
+                    std::size_t sub_index, std::vector<Violation>& out) {
+  const auto unknowns = sub.unknowns();
+  const auto survivors = sub.survivors();
+  const auto rows = sub.check_rows();
+  const std::size_t blocks = h.cols();
+  const std::size_t f = unknowns.size();
+
+  bool indices_ok = true;
+  for (const std::size_t u : unknowns) {
+    if (u >= blocks) {
+      report(out, ViolationKind::kUnknownOutOfBounds, sub_index, kNoIndex,
+             "unknown block " + size_str(u) + " >= total blocks " +
+                 size_str(blocks));
+      indices_ok = false;
+    }
+  }
+  for (const std::size_t s : survivors) {
+    if (s >= blocks) {
+      report(out, ViolationKind::kSurvivorOutOfBounds, sub_index, kNoIndex,
+             "survivor block " + size_str(s) + " >= total blocks " +
+                 size_str(blocks));
+      indices_ok = false;
+    }
+  }
+  for (const std::size_t r : rows) {
+    if (r >= h.rows()) {
+      report(out, ViolationKind::kRowOutOfBounds, sub_index, kNoIndex,
+             "check row " + size_str(r) + " >= rows of H " +
+                 size_str(h.rows()));
+      indices_ok = false;
+    }
+  }
+  check_duplicates(unknowns, "unknown", sub_index, out);
+  check_duplicates(survivors, "survivor", sub_index, out);
+
+  for (const std::size_t s : survivors) {
+    if (std::find(unknowns.begin(), unknowns.end(), s) != unknowns.end()) {
+      report(out, ViolationKind::kSourceAliasesTarget, sub_index, kNoIndex,
+             "block " + size_str(s) + " is both read and written");
+    }
+    if (std::binary_search(forbidden_sources.begin(), forbidden_sources.end(),
+                           s)) {
+      report(out, ViolationKind::kForbiddenSource, sub_index, kNoIndex,
+             "block " + size_str(s) +
+                 " is read but faulty and not yet recovered");
+    }
+  }
+
+  if (rows.size() != f) {
+    report(out, ViolationKind::kShapeMismatch, sub_index, kNoIndex,
+           size_str(rows.size()) + " check rows for " + size_str(f) +
+               " unknowns (F must be square)");
+    return;
+  }
+  if (!indices_ok) return;  // cannot re-derive matrices from bad indices
+
+  // Re-derive F and S from H and invert F from scratch — nothing below
+  // trusts the solver that built the plan.
+  const Matrix hr = h.select_rows(rows);
+  const Matrix f_mat = hr.select_columns(unknowns);
+  const auto finv = f_mat.inverse();
+  if (!finv.has_value()) {
+    report(out, ViolationKind::kSingularF, sub_index, kNoIndex,
+           "F = H[rows][unknowns] is singular over GF(2^" +
+               size_str(h.field().w()) + ")");
+    return;
+  }
+  if (!(*finv * f_mat == Matrix::identity(h.field(), f))) {
+    report(out, ViolationKind::kInverseMismatch, sub_index, kNoIndex,
+           "recomputed F^-1 does not satisfy F^-1*F = I");
+    return;
+  }
+  const Matrix s_mat = hr.select_columns(survivors);
+
+  // Every nonzero column of the selected rows must be accounted for: an
+  // ignored nonzero column would contribute garbage at execution time.
+  {
+    std::vector<char> covered(blocks, 0);
+    for (const std::size_t u : unknowns) covered[u] = 1;
+    for (const std::size_t s : survivors) covered[s] = 1;
+    for (std::size_t c = 0; c < blocks; ++c) {
+      if (covered[c] == 0 && !hr.column_is_zero(c)) {
+        report(out, ViolationKind::kUncoveredColumn, sub_index, kNoIndex,
+               "block " + size_str(c) +
+                   " has nonzero coefficients in the selected rows but is "
+                   "neither unknown nor survivor");
+      }
+    }
+  }
+
+  // The matrices the plan will actually apply, their exact op count, and
+  // the distinct source blocks they read — all recomputed.
+  std::size_t expected_cost = 0;
+  const Matrix* applied = nullptr;  // matrix whose columns are survivors
+  Matrix g_mat(h.field(), 0, 0);
+  if (sub.sequence() == Sequence::kNormal) {
+    expected_cost = finv->nonzeros() + s_mat.nonzeros();
+    if (!(sub.finv() == *finv)) {
+      report(out, ViolationKind::kMatrixMismatch, sub_index, kNoIndex,
+             "stored F^-1 differs from the independent recomputation");
+    }
+    if (!(sub.s() == s_mat)) {
+      report(out, ViolationKind::kMatrixMismatch, sub_index, kNoIndex,
+             "stored S differs from H[rows][survivors]");
+    }
+    applied = &s_mat;
+  } else {
+    g_mat = *finv * s_mat;
+    expected_cost = g_mat.nonzeros();
+    if (!(sub.finv() == g_mat)) {
+      report(out, ViolationKind::kMatrixMismatch, sub_index, kNoIndex,
+             "stored G differs from recomputed F^-1*S");
+    }
+    if (sub.s().rows() != 0 || sub.s().cols() != 0) {
+      report(out, ViolationKind::kShapeMismatch, sub_index, kNoIndex,
+             "matrix-first plan carries a non-empty S matrix");
+    }
+    applied = &g_mat;
+  }
+
+  if (sub.cost() != expected_cost) {
+    report(out, ViolationKind::kCostMismatch, sub_index, kNoIndex,
+           "claimed mult_XOR count " + size_str(sub.cost()) +
+               " != recomputed " + size_str(expected_cost));
+  }
+  std::size_t expected_sources = 0;
+  for (std::size_t c = 0; c < applied->cols(); ++c) {
+    expected_sources += !applied->column_is_zero(c);
+  }
+  if (sub.source_blocks() != expected_sources) {
+    report(out, ViolationKind::kSourceBlocksMismatch, sub_index, kNoIndex,
+           "claimed blocks_read " + size_str(sub.source_blocks()) +
+               " != recomputed " + size_str(expected_sources));
+  }
+}
+
+VerifyResult verify_plan(const ErasureCode& code,
+                         const FailureScenario& scenario,
+                         const CachedPlan& plan) {
+  VerifyResult result;
+  const Matrix& h = code.parity_check();
+  const auto faulty = scenario.faulty();  // sorted, unique
+
+  // Partition soundness: the union of sub-plan unknown sets must be
+  // exactly the faulty set, with no block produced twice.
+  std::vector<std::size_t> produced;
+  for (const SubPlan& g : plan.groups()) {
+    produced.insert(produced.end(), g.unknowns().begin(), g.unknowns().end());
+  }
+  std::vector<std::size_t> group_produced = produced;  // pre-rest copy
+  if (plan.rest().has_value()) {
+    produced.insert(produced.end(), plan.rest()->unknowns().begin(),
+                    plan.rest()->unknowns().end());
+  }
+  std::sort(produced.begin(), produced.end());
+  for (std::size_t i = 1; i < produced.size(); ++i) {
+    if (produced[i] == produced[i - 1] &&
+        (i < 2 || produced[i] != produced[i - 2])) {
+      report(result.violations, ViolationKind::kDuplicateRecovery, kNoIndex,
+             kNoIndex,
+             "block " + size_str(produced[i]) +
+                 " is recovered by more than one sub-plan");
+    }
+  }
+  for (const std::size_t b : faulty) {
+    if (!std::binary_search(produced.begin(), produced.end(), b)) {
+      report(result.violations, ViolationKind::kMissingRecovery, kNoIndex,
+             kNoIndex,
+             "faulty block " + size_str(b) + " is never recovered");
+    }
+  }
+  for (const std::size_t b : produced) {
+    if (!scenario.contains(b)) {
+      report(result.violations, ViolationKind::kUnexpectedRecovery, kNoIndex,
+             kNoIndex,
+             "block " + size_str(b) +
+                 " is written but is not in the faulty set");
+    }
+  }
+
+  // Groups run first and in any order, so they may read nothing faulty.
+  std::size_t index = 0;
+  for (const SubPlan& g : plan.groups()) {
+    verify_subplan(h, g, faulty, index++, result.violations);
+  }
+  // H_rest runs after every group: blocks the groups recovered are
+  // finalized and legal to read; still-unrecovered faulty blocks are not.
+  if (plan.rest().has_value()) {
+    std::sort(group_produced.begin(), group_produced.end());
+    std::vector<std::size_t> rest_forbidden;
+    for (const std::size_t b : faulty) {
+      if (!std::binary_search(group_produced.begin(), group_produced.end(),
+                              b)) {
+        rest_forbidden.push_back(b);
+      }
+    }
+    verify_subplan(h, *plan.rest(), rest_forbidden, index,
+                   result.violations);
+  }
+  return result;
+}
+
+VerifyResult verify_xor_schedule(const Matrix& g,
+                                 const XorSchedule& schedule) {
+  VerifyResult result;
+  auto& out = result.violations;
+  for (const gf::Element v : g.data()) {
+    if (v > 1) {
+      report(out, ViolationKind::kXorNotBinary, kNoIndex, kNoIndex,
+             "schedule claimed for a matrix with entries > 1");
+      return result;
+    }
+  }
+  const std::size_t rows = g.rows();
+  const std::size_t cols = g.cols();
+
+  // Index of the last op writing each target: a from_output read is only
+  // sound when the source target is fully built and never touched again.
+  std::vector<std::size_t> last_write(rows, kNoIndex);
+  for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+    if (schedule.ops[i].target < rows) {
+      last_write[schedule.ops[i].target] = i;
+    }
+  }
+
+  // Symbolic replay over GF(2): track each target as a bitset over the
+  // source columns and compare against the matrix rows at the end.
+  std::vector<BitRow> value(rows, BitRow((cols + 63) / 64, 0));
+  std::vector<char> written(rows, 0);
+  for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+    const XorOp& op = schedule.ops[i];
+    if (op.target >= rows) {
+      report(out, ViolationKind::kXorIndexOutOfBounds, kNoIndex, i,
+             "target " + size_str(op.target) + " >= " + size_str(rows));
+      continue;
+    }
+    BitRow src;
+    if (op.from_output) {
+      if (op.source >= rows) {
+        report(out, ViolationKind::kXorIndexOutOfBounds, kNoIndex, i,
+               "output source " + size_str(op.source) +
+                   " >= " + size_str(rows));
+        continue;
+      }
+      if (op.source == op.target) {
+        report(out, ViolationKind::kXorSelfReference, kNoIndex, i,
+               "op reads target " + size_str(op.target) +
+                   " while writing it");
+        continue;
+      }
+      if (written[op.source] == 0) {
+        report(out, ViolationKind::kXorReadBeforeFinal, kNoIndex, i,
+               "target " + size_str(op.source) +
+                   " is read before any op writes it");
+      } else if (last_write[op.source] > i) {
+        report(out, ViolationKind::kXorReadBeforeFinal, kNoIndex, i,
+               "target " + size_str(op.source) + " is read at op " +
+                   size_str(i) + " but still written at op " +
+                   size_str(last_write[op.source]));
+      }
+      src = value[op.source];
+    } else {
+      if (op.source >= cols) {
+        report(out, ViolationKind::kXorIndexOutOfBounds, kNoIndex, i,
+               "source column " + size_str(op.source) +
+                   " >= " + size_str(cols));
+        continue;
+      }
+      src = unit_bit(cols, op.source);
+    }
+    if (op.overwrite && written[op.target] != 0) {
+      report(out, ViolationKind::kXorOverwriteAfterWrite, kNoIndex, i,
+             "overwrite clobbers partially built target " +
+                 size_str(op.target));
+    }
+    if (!op.overwrite && written[op.target] == 0) {
+      report(out, ViolationKind::kXorMissingOverwrite, kNoIndex, i,
+             "first op on target " + size_str(op.target) +
+                 " must have overwrite=true");
+    }
+    if (op.overwrite) {
+      value[op.target] = std::move(src);
+    } else {
+      for (std::size_t wi = 0; wi < src.size(); ++wi) {
+        value[op.target][wi] ^= src[wi];
+      }
+    }
+    written[op.target] = 1;
+  }
+
+  std::size_t naive = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const BitRow expected = matrix_row_bits(g, r);
+    const std::size_t weight = bit_count(expected);
+    naive += weight == 0 ? 2 : weight;  // zero rows cost the 2-op fix-up
+    if (written[r] == 0) {
+      report(out, ViolationKind::kXorTargetNeverWritten, kNoIndex, kNoIndex,
+             "matrix row " + size_str(r) + " is never written");
+      continue;
+    }
+    if (value[r] != expected) {
+      report(out, ViolationKind::kXorWrongResult, kNoIndex, kNoIndex,
+             "replayed target " + size_str(r) +
+                 " does not equal matrix row " + size_str(r));
+    }
+  }
+  if (schedule.naive_ops != naive) {
+    report(out, ViolationKind::kXorCostMismatch, kNoIndex, kNoIndex,
+           "claimed naive_ops " + size_str(schedule.naive_ops) +
+               " != recomputed " + size_str(naive));
+  }
+  return result;
+}
+
+}  // namespace ppm::planverify

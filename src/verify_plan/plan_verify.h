@@ -1,0 +1,71 @@
+// Static verification of decode plans and XOR schedules (ppm::planverify).
+//
+// PPM's plans are computed once and replayed against every stripe that
+// shares a failure scenario; a subtly wrong cached plan silently corrupts
+// all of them. This pass proves a plan sound *without executing a single
+// region op*, re-deriving everything it checks from the parity-check
+// matrix independently of the solver that built the plan:
+//
+//  1. Partition soundness — every faulty block is produced by exactly one
+//     sub-plan, and nothing outside the faulty set is written.
+//  2. Algebra — F = H[rows][unknowns] is invertible, a freshly computed
+//     F⁻¹ satisfies F⁻¹·F = I over GF(2^w), and the matrices the plan
+//     will actually apply equal the recomputation (F⁻¹ and S for the
+//     normal sequence, G = F⁻¹·S for matrix-first).
+//  3. Dataflow — survivor reads never alias unknown writes, group plans
+//     read no faulty block, the rest plan reads only blocks finalized by
+//     the groups, and the selected rows touch no block the plan ignores
+//     (an uncovered nonzero column would silently contribute garbage).
+//  4. Cost honesty — the plan's claimed cost (DecodeStats::mult_xors) and
+//     blocks_read equal the counts recomputed from the re-derived
+//     matrices, so the cost model can never drift from reality.
+//  5. XOR schedules — a symbolic GF(2) replay of the op list must
+//     reproduce every matrix row, with no read-before-write,
+//     missing-overwrite or overwrite-after-write hazard and with
+//     from_output sources referring only to already-finalized targets
+//     (the incremental-target contract of decode/xor_schedule.h).
+//
+// All passes report every violation they find (see violation.h) instead
+// of stopping at the first. docs/STATIC_ANALYSIS.md documents the
+// invariants and the deployment story (PPM_VERIFY_PLANS, ppm_cli verify).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "codec/codec.h"
+#include "codes/erasure_code.h"
+#include "decode/plan.h"
+#include "decode/scenario.h"
+#include "decode/xor_schedule.h"
+#include "matrix/matrix.h"
+#include "verify_plan/violation.h"
+
+namespace ppm::planverify {
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Verify one sub-plan against the parity-check matrix it claims to have
+/// been planned from. `forbidden_sources` (sorted) are blocks the plan
+/// must not read — for an independent group that is the entire faulty
+/// set; for H_rest it is the faulty set minus the group-recovered blocks.
+/// `sub_index` labels resulting violations. Appends to `out`.
+void verify_subplan(const Matrix& h, const SubPlan& sub,
+                    std::span<const std::size_t> forbidden_sources,
+                    std::size_t sub_index, std::vector<Violation>& out);
+
+/// Verify a full cached plan against the code and scenario it serves:
+/// partition soundness across sub-plans plus verify_subplan on each.
+VerifyResult verify_plan(const ErasureCode& code,
+                         const FailureScenario& scenario,
+                         const CachedPlan& plan);
+
+/// Verify an XOR schedule against the binary matrix it was planned from
+/// by symbolic replay over GF(2).
+VerifyResult verify_xor_schedule(const Matrix& g, const XorSchedule& schedule);
+
+}  // namespace ppm::planverify

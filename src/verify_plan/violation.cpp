@@ -1,0 +1,119 @@
+#include "verify_plan/violation.h"
+
+#include <cstdio>
+
+namespace ppm::planverify {
+
+const char* kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kDuplicateRecovery:
+      return "duplicate_recovery";
+    case ViolationKind::kMissingRecovery:
+      return "missing_recovery";
+    case ViolationKind::kUnexpectedRecovery:
+      return "unexpected_recovery";
+    case ViolationKind::kShapeMismatch:
+      return "shape_mismatch";
+    case ViolationKind::kUnknownOutOfBounds:
+      return "unknown_out_of_bounds";
+    case ViolationKind::kSurvivorOutOfBounds:
+      return "survivor_out_of_bounds";
+    case ViolationKind::kRowOutOfBounds:
+      return "row_out_of_bounds";
+    case ViolationKind::kDuplicateIndex:
+      return "duplicate_index";
+    case ViolationKind::kSourceAliasesTarget:
+      return "source_aliases_target";
+    case ViolationKind::kForbiddenSource:
+      return "forbidden_source";
+    case ViolationKind::kUncoveredColumn:
+      return "uncovered_column";
+    case ViolationKind::kSingularF:
+      return "singular_f";
+    case ViolationKind::kInverseMismatch:
+      return "inverse_mismatch";
+    case ViolationKind::kMatrixMismatch:
+      return "matrix_mismatch";
+    case ViolationKind::kCostMismatch:
+      return "cost_mismatch";
+    case ViolationKind::kSourceBlocksMismatch:
+      return "source_blocks_mismatch";
+    case ViolationKind::kXorNotBinary:
+      return "xor_not_binary";
+    case ViolationKind::kXorIndexOutOfBounds:
+      return "xor_index_out_of_bounds";
+    case ViolationKind::kXorMissingOverwrite:
+      return "xor_missing_overwrite";
+    case ViolationKind::kXorOverwriteAfterWrite:
+      return "xor_overwrite_after_write";
+    case ViolationKind::kXorSelfReference:
+      return "xor_self_reference";
+    case ViolationKind::kXorReadBeforeFinal:
+      return "xor_read_before_final";
+    case ViolationKind::kXorTargetNeverWritten:
+      return "xor_target_never_written";
+    case ViolationKind::kXorWrongResult:
+      return "xor_wrong_result";
+    case ViolationKind::kXorCostMismatch:
+      return "xor_cost_mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(std::span<const Violation> violations) {
+  std::string out = "[";
+  bool first = true;
+  for (const Violation& v : violations) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"kind\":\"";
+    out += kind_name(v.kind);
+    out += "\"";
+    if (v.sub_plan != kNoIndex) {
+      out += ",\"sub_plan\":";
+      out += std::to_string(v.sub_plan);
+    }
+    if (v.op != kNoIndex) {
+      out += ",\"op\":";
+      out += std::to_string(v.op);
+    }
+    out += ",\"message\":\"";
+    append_escaped(out, v.message);
+    out += "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ppm::planverify

@@ -1,0 +1,74 @@
+// Structured diagnostics for the plan verifier (verify_plan/).
+//
+// A Violation pinpoints one broken invariant of a decode plan or XOR
+// schedule: which check failed (kind), where (sub-plan index, op index)
+// and why (human-readable message). Verifier passes collect every
+// violation they can find rather than stopping at the first, so a report
+// describes the whole plan.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppm::planverify {
+
+/// Sentinel for "not applicable" location fields.
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+enum class ViolationKind {
+  // Plan-level partition invariants (§III-A: groups recover disjoint
+  // faulty sets; every faulty block is produced exactly once).
+  kDuplicateRecovery,   ///< a block is produced by more than one sub-plan
+  kMissingRecovery,     ///< a faulty block no sub-plan produces
+  kUnexpectedRecovery,  ///< a produced block is not in the faulty set
+
+  // Sub-plan structural invariants.
+  kShapeMismatch,         ///< matrix dimensions inconsistent with index sets
+  kUnknownOutOfBounds,    ///< unknown block id >= total blocks
+  kSurvivorOutOfBounds,   ///< survivor block id >= total blocks
+  kRowOutOfBounds,        ///< check-row index >= rows of H
+  kDuplicateIndex,        ///< repeated entry in unknowns or survivors
+  kSourceAliasesTarget,   ///< a block is both read and written by one plan
+  kForbiddenSource,       ///< reads a block that is faulty and unrecovered
+  kUncoveredColumn,       ///< selected rows touch a block the plan ignores
+
+  // Algebraic invariants, recomputed independently of the solver.
+  kSingularF,        ///< F = H[rows][unknowns] is not invertible
+  kInverseMismatch,  ///< recomputed F⁻¹ fails F⁻¹·F = I
+  kMatrixMismatch,   ///< stored matrix differs from the recomputation
+
+  // Cost-model invariants (DecodeStats::mult_xors must be exact).
+  kCostMismatch,          ///< claimed cost != recomputed op count
+  kSourceBlocksMismatch,  ///< claimed blocks_read != recomputed
+
+  // XOR-schedule invariants (decode/xor_schedule.h incremental contract).
+  kXorNotBinary,           ///< schedule claimed for a non-binary matrix
+  kXorIndexOutOfBounds,    ///< op source/target index out of range
+  kXorMissingOverwrite,    ///< first op on a target is not an overwrite
+  kXorOverwriteAfterWrite, ///< overwrite clobbers a partially-built target
+  kXorSelfReference,       ///< op reads the target it is writing
+  kXorReadBeforeFinal,     ///< from_output source not yet finalized
+  kXorTargetNeverWritten,  ///< a matrix row has no ops at all
+  kXorWrongResult,         ///< symbolic replay differs from the matrix row
+  kXorCostMismatch,        ///< naive_ops != u(G) (+ zero-row fix-ups)
+};
+
+/// Stable lowercase identifier for a kind (e.g. "singular_f"); used in the
+/// JSON export and in test expectations.
+const char* kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::size_t sub_plan = kNoIndex;  ///< sub-plan index; kNoIndex = plan-level
+  std::size_t op = kNoIndex;        ///< XOR-op index; kNoIndex = not an op
+  std::string message;
+};
+
+/// `[{"kind":"...","sub_plan":0,"op":3,"message":"..."}, ...]` — location
+/// fields are omitted when not applicable. Stable format: `ppm_cli verify`
+/// emits this on failure for operator tooling.
+std::string to_json(std::span<const Violation> violations);
+
+}  // namespace ppm::planverify

@@ -92,6 +92,15 @@ TEST_P(RandomCodeFuzz, PpmAgreesWithTraditionalWheneverDecodable) {
       const auto costs = analyze_costs(code, sc);
       ASSERT_TRUE(costs.has_value());
       EXPECT_EQ(pr->stats.mult_xors, costs->ppm_best()) << "trial " << trial;
+      // The plan the codec would cache for this scenario must be
+      // statically provable sound.
+      Codec codec(code);
+      const auto plan = codec.plan_for(sc);
+      ASSERT_NE(plan, nullptr) << "trial " << trial;
+      const auto verdict = planverify::verify_plan(code, sc, *plan);
+      EXPECT_TRUE(verdict.ok())
+          << "trial " << trial << ": "
+          << planverify::to_json(verdict.violations);
     }
   }
 }

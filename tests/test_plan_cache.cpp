@@ -88,7 +88,9 @@ TEST(ShardedLruCache, ConcurrentMixedTraffic) {
         } else {
           cache.insert(key, static_cast<int>(key[0]));
         }
-        if (i % 64 == 0) ASSERT_LE(cache.size(), 8u);
+        if (i % 64 == 0) {
+          ASSERT_LE(cache.size(), 8u);
+        }
       }
     });
   }

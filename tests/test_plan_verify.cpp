@@ -1,0 +1,352 @@
+// The plan verifier (verify_plan/) must accept every plan the library
+// actually builds and reject hand-corrupted plans with the *matching*
+// Violation kind — a verifier that flags the wrong invariant is as
+// untrustworthy as no verifier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+using planverify::Violation;
+using planverify::ViolationKind;
+
+bool has_kind(const std::vector<Violation>& violations, ViolationKind kind) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+std::vector<std::size_t> to_vec(std::span<const std::size_t> s) {
+  return {s.begin(), s.end()};
+}
+
+// Mutable copy of a SubPlan's parts, rebuildable via from_parts so tests
+// can corrupt exactly one field.
+struct Parts {
+  Sequence seq;
+  std::vector<std::size_t> unknowns;
+  std::vector<std::size_t> survivors;
+  std::vector<std::size_t> rows;
+  Matrix finv;
+  Matrix s;
+  std::size_t cost;
+  std::size_t source_blocks;
+};
+
+Parts parts_of(const SubPlan& sub) {
+  return Parts{sub.sequence(),       to_vec(sub.unknowns()),
+               to_vec(sub.survivors()), to_vec(sub.check_rows()),
+               sub.finv(),          sub.s(),
+               sub.cost(),          sub.source_blocks()};
+}
+
+SubPlan rebuild(const gf::Field& f, const Parts& p) {
+  return SubPlan::from_parts(f, p.seq, p.unknowns, p.survivors, p.rows,
+                             p.finv, p.s, p.cost, p.source_blocks);
+}
+
+class PlanVerifyCorruption : public ::testing::Test {
+ protected:
+  PlanVerifyCorruption() : code_(6, 3, 8), scenario_({0, 1}) {
+    Codec codec(code_);
+    plan_ = codec.plan_for(scenario_);
+    EXPECT_NE(plan_, nullptr);
+    EXPECT_GE(plan_->groups().size() + plan_->rest().has_value(), 1u);
+  }
+
+  const SubPlan& valid_sub() const {
+    return plan_->groups().empty() ? *plan_->rest() : plan_->groups()[0];
+  }
+
+  std::vector<Violation> verify_corrupted(const Parts& p) const {
+    std::vector<Violation> out;
+    planverify::verify_subplan(code_.parity_check(),
+                               rebuild(code_.field(), p),
+                               scenario_.faulty(), 0, out);
+    return out;
+  }
+
+  RSCode code_;
+  FailureScenario scenario_;
+  std::shared_ptr<const CachedPlan> plan_;
+};
+
+TEST_F(PlanVerifyCorruption, ValidPlanIsClean) {
+  const auto verdict = planverify::verify_plan(code_, scenario_, *plan_);
+  EXPECT_TRUE(verdict.ok()) << planverify::to_json(verdict.violations);
+}
+
+TEST_F(PlanVerifyCorruption, NonInvertibleFIsSingularF) {
+  Parts p = parts_of(valid_sub());
+  ASSERT_GE(p.rows.size(), 2u);
+  p.rows[1] = p.rows[0];  // same H row twice: F cannot be invertible
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kSingularF))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, OutOfBoundsSurvivorIsFlagged) {
+  Parts p = parts_of(valid_sub());
+  ASSERT_FALSE(p.survivors.empty());
+  p.survivors[0] = code_.total_blocks() + 7;
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kSurvivorOutOfBounds))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, ClaimedCostMismatchIsFlagged) {
+  Parts p = parts_of(valid_sub());
+  p.cost += 1;  // cost model would silently drift from reality
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kCostMismatch))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, ClaimedSourceBlocksMismatchIsFlagged) {
+  Parts p = parts_of(valid_sub());
+  p.source_blocks += 1;
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kSourceBlocksMismatch))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, TamperedMatrixEntryIsFlagged) {
+  Parts p = parts_of(valid_sub());
+  ASSERT_GT(p.finv.rows(), 0u);
+  p.finv(0, 0) ^= 1;  // single coefficient flip
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kMatrixMismatch))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, SurvivorAliasingUnknownIsFlagged) {
+  Parts p = parts_of(valid_sub());
+  ASSERT_FALSE(p.survivors.empty());
+  p.survivors[0] = p.unknowns[0];  // read and write the same block
+  const auto v = verify_corrupted(p);
+  EXPECT_TRUE(has_kind(v, ViolationKind::kSourceAliasesTarget))
+      << planverify::to_json(v);
+  // An unknown is also faulty-and-unrecovered, so it is a forbidden read.
+  EXPECT_TRUE(has_kind(v, ViolationKind::kForbiddenSource))
+      << planverify::to_json(v);
+}
+
+TEST_F(PlanVerifyCorruption, DuplicateRecoveryAcrossSubPlansIsFlagged) {
+  const SubPlan sub = valid_sub();
+  const CachedPlan twice = CachedPlan::assemble({sub, sub}, std::nullopt);
+  const auto verdict = planverify::verify_plan(code_, scenario_, twice);
+  EXPECT_TRUE(has_kind(verdict.violations, ViolationKind::kDuplicateRecovery))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(PlanVerifyCorruption, EmptyPlanForNonEmptyScenarioIsMissingRecovery) {
+  const CachedPlan empty = CachedPlan::assemble({}, std::nullopt);
+  const auto verdict = planverify::verify_plan(code_, scenario_, empty);
+  EXPECT_TRUE(has_kind(verdict.violations, ViolationKind::kMissingRecovery))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(PlanVerifyCorruption, RecoveringNonFaultyBlockIsUnexpected) {
+  const CachedPlan plan =
+      CachedPlan::assemble({valid_sub()}, std::nullopt);
+  const FailureScenario smaller({0});  // block 1 is not actually faulty
+  const auto verdict = planverify::verify_plan(code_, smaller, plan);
+  EXPECT_TRUE(
+      has_kind(verdict.violations, ViolationKind::kUnexpectedRecovery))
+      << planverify::to_json(verdict.violations);
+}
+
+// ---------------------------------------------------------------------------
+// XOR-schedule corruption: the symbolic replay must catch every hazard the
+// incremental-target contract of decode/xor_schedule.h forbids.
+
+class XorVerifyCorruption : public ::testing::Test {
+ protected:
+  // Row 1 differs from row 0 in one position, so the planner computes
+  // target 1 incrementally: copy target 0, then one fix-up XOR.
+  XorVerifyCorruption()
+      : g_(gf::field(8), 2, 4, {1, 1, 1, 0, 1, 1, 1, 1}),
+        schedule_(*plan_xor_schedule(g_)) {
+    EXPECT_TRUE(std::any_of(
+        schedule_.ops.begin(), schedule_.ops.end(),
+        [](const XorOp& op) { return op.from_output; }));
+    EXPECT_TRUE(planverify::verify_xor_schedule(g_, schedule_).ok());
+  }
+
+  Matrix g_;
+  XorSchedule schedule_;
+};
+
+TEST_F(XorVerifyCorruption, SwappedOpOrderIsReadBeforeFinal) {
+  XorSchedule bad = schedule_;
+  const auto it = std::find_if(bad.ops.begin(), bad.ops.end(),
+                               [](const XorOp& op) { return op.from_output; });
+  ASSERT_NE(it, bad.ops.end());
+  // Hoist the incremental base-copy to the front: it now reads target 0
+  // before any op has produced it.
+  std::rotate(bad.ops.begin(), it, it + 1);
+  const auto verdict = planverify::verify_xor_schedule(g_, bad);
+  EXPECT_TRUE(
+      has_kind(verdict.violations, ViolationKind::kXorReadBeforeFinal))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(XorVerifyCorruption, SwappedFirstOpsLoseTheOverwrite) {
+  XorSchedule bad = schedule_;
+  ASSERT_GE(bad.ops.size(), 2u);
+  ASSERT_EQ(bad.ops[0].target, bad.ops[1].target);
+  std::swap(bad.ops[0], bad.ops[1]);  // first op on the target is now a XOR
+  const auto verdict = planverify::verify_xor_schedule(g_, bad);
+  EXPECT_TRUE(
+      has_kind(verdict.violations, ViolationKind::kXorMissingOverwrite))
+      << planverify::to_json(verdict.violations);
+  EXPECT_TRUE(
+      has_kind(verdict.violations, ViolationKind::kXorOverwriteAfterWrite))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(XorVerifyCorruption, WrongSourceColumnChangesTheResult) {
+  XorSchedule bad = schedule_;
+  const auto it =
+      std::find_if(bad.ops.begin(), bad.ops.end(), [](const XorOp& op) {
+        return !op.from_output && op.source == 0;
+      });
+  ASSERT_NE(it, bad.ops.end());
+  it->source = 3;
+  const auto verdict = planverify::verify_xor_schedule(g_, bad);
+  EXPECT_TRUE(has_kind(verdict.violations, ViolationKind::kXorWrongResult))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(XorVerifyCorruption, OutOfBoundsSourceIsFlagged) {
+  XorSchedule bad = schedule_;
+  ASSERT_FALSE(bad.ops[0].from_output);
+  bad.ops[0].source = g_.cols() + 5;
+  const auto verdict = planverify::verify_xor_schedule(g_, bad);
+  EXPECT_TRUE(
+      has_kind(verdict.violations, ViolationKind::kXorIndexOutOfBounds))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST_F(XorVerifyCorruption, InflatedNaiveOpsIsCostMismatch) {
+  XorSchedule bad = schedule_;
+  bad.naive_ops += 3;
+  const auto verdict = planverify::verify_xor_schedule(g_, bad);
+  EXPECT_TRUE(has_kind(verdict.violations, ViolationKind::kXorCostMismatch))
+      << planverify::to_json(verdict.violations);
+}
+
+TEST(XorVerify, NonBinaryMatrixIsRejected) {
+  const Matrix g(gf::field(8), 1, 2, {1, 3});
+  const XorSchedule empty;
+  const auto verdict = planverify::verify_xor_schedule(g, empty);
+  EXPECT_TRUE(has_kind(verdict.violations, ViolationKind::kXorNotBinary));
+}
+
+TEST(XorVerify, AllZeroRowFixupVerifies) {
+  const Matrix g(gf::field(8), 2, 3, {1, 0, 1, 0, 0, 0});
+  const auto sched = plan_xor_schedule(g);
+  ASSERT_TRUE(sched.has_value());
+  const auto verdict = planverify::verify_xor_schedule(g, *sched);
+  EXPECT_TRUE(verdict.ok()) << planverify::to_json(verdict.violations);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep: every plan the library builds for the seed code families across
+// failure scenarios must be verifier-clean, and every XOR schedule planned
+// from a binary applied matrix must survive symbolic replay.
+
+void expect_clean_plans(const ErasureCode& code) {
+  Codec codec(code);
+  std::size_t verified = 0;
+
+  const auto check = [&](const FailureScenario& sc) {
+    const auto plan = codec.plan_for(sc);
+    if (plan == nullptr) return;  // beyond tolerance: nothing to verify
+    const auto verdict = planverify::verify_plan(code, sc, *plan);
+    EXPECT_TRUE(verdict.ok())
+        << code.name() << ": " << planverify::to_json(verdict.violations);
+    const auto check_schedule = [&](const SubPlan& sub) {
+      const Matrix& applied =
+          sub.sequence() == Sequence::kMatrixFirst ? sub.finv() : sub.s();
+      const auto sched = plan_xor_schedule(applied);
+      if (!sched.has_value()) return;
+      const auto xv = planverify::verify_xor_schedule(applied, *sched);
+      EXPECT_TRUE(xv.ok())
+          << code.name() << ": " << planverify::to_json(xv.violations);
+    };
+    for (const SubPlan& sub : plan->groups()) check_schedule(sub);
+    if (plan->rest().has_value()) check_schedule(*plan->rest());
+    ++verified;
+  };
+
+  // Every single-block failure.
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    check(FailureScenario({b}));
+  }
+  // Every pair of whole-disk failures.
+  for (std::size_t d1 = 0; d1 < code.disks(); ++d1) {
+    for (std::size_t d2 = d1 + 1; d2 < code.disks(); ++d2) {
+      std::vector<std::size_t> faulty;
+      for (std::size_t row = 0; row < code.rows(); ++row) {
+        faulty.push_back(code.block_id(row, d1));
+        faulty.push_back(code.block_id(row, d2));
+      }
+      check(FailureScenario(faulty));
+    }
+  }
+  // Mixed disk + sector failures from the generator.
+  ScenarioGenerator gen(99);
+  for (int i = 0; i < 8; ++i) {
+    check(gen.disk_failures(code, 1 + i % 2).scenario);
+  }
+  EXPECT_GT(verified, 0u) << code.name();
+}
+
+TEST(PlanVerifySweep, RS) { expect_clean_plans(RSCode(10, 4, 8)); }
+TEST(PlanVerifySweep, CRS) { expect_clean_plans(CRSCode(6, 3, 8)); }
+TEST(PlanVerifySweep, SD) { expect_clean_plans(SDCode(6, 8, 2, 2, 8)); }
+TEST(PlanVerifySweep, PMDS) { expect_clean_plans(PMDSCode(6, 6, 2, 2, 8)); }
+TEST(PlanVerifySweep, LRC) { expect_clean_plans(LRCCode(12, 3, 2, 8)); }
+TEST(PlanVerifySweep, XorbasLRC) {
+  expect_clean_plans(XorbasLRCCode(10, 2, 4, 8));
+}
+TEST(PlanVerifySweep, EvenOdd) { expect_clean_plans(EvenOddCode(7)); }
+TEST(PlanVerifySweep, RDP) { expect_clean_plans(RDPCode(7)); }
+TEST(PlanVerifySweep, Star) { expect_clean_plans(StarCode(7)); }
+
+TEST(PlanVerifySweep, SdWorstCaseScenarios) {
+  const SDCode code(8, 16, 2, 2, 16);
+  Codec codec(code);
+  ScenarioGenerator gen(3);
+  for (std::size_t z = 1; z <= 2; ++z) {  // z <= s = 2
+    const auto sc = gen.sd_worst_case(code, 2, 2, z).scenario;
+    const auto plan = codec.plan_for(sc);
+    ASSERT_NE(plan, nullptr);
+    const auto verdict = planverify::verify_plan(code, sc, *plan);
+    EXPECT_TRUE(verdict.ok()) << planverify::to_json(verdict.violations);
+  }
+}
+
+// Violation JSON is the operator-facing export of `ppm_cli verify`; keep
+// the format stable.
+TEST(ViolationJson, FormatIsStable) {
+  std::vector<Violation> v;
+  v.push_back(Violation{ViolationKind::kSingularF, 2, planverify::kNoIndex,
+                        "F is singular"});
+  v.push_back(Violation{ViolationKind::kXorReadBeforeFinal,
+                        planverify::kNoIndex, 7, "say \"hi\""});
+  EXPECT_EQ(planverify::to_json(v),
+            "[{\"kind\":\"singular_f\",\"sub_plan\":2,"
+            "\"message\":\"F is singular\"},"
+            "{\"kind\":\"xor_read_before_final\",\"op\":7,"
+            "\"message\":\"say \\\"hi\\\"\"}]");
+}
+
+}  // namespace
+}  // namespace ppm

@@ -6,6 +6,8 @@
 //   ppm_cli batch    --code <family> [params]      Codec batch decode + metrics JSON
 //   ppm_cli selftest --code <family> [params]      encode/erase/decode/verify
 //   ppm_cli sim      --code <family> [params]      failure-stream simulation
+//   ppm_cli verify   --code <family> [params]      static plan verification
+//                    [--scenario 1,5,9] [--sweep <disks>]
 //
 // Families and their parameters (defaults in parentheses):
 //   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
@@ -298,6 +300,131 @@ int cmd_sim(const ErasureCode& code, const Args& args) {
   return 0;
 }
 
+// Parse "1,5,9" into a scenario.
+FailureScenario parse_scenario_spec(const std::string& spec) {
+  std::vector<std::size_t> faulty;
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    faulty.push_back(std::strtoull(p, &end, 10));
+    if (end == p) throw std::invalid_argument("bad --scenario: " + spec);
+    p = *end == ',' ? end + 1 : end;
+  }
+  return FailureScenario(faulty);
+}
+
+// Statically verify the plan for one scenario: the planverify pass over
+// the cached plan, plus — for every sub-plan whose applied matrix is
+// binary — an incremental XOR schedule planned and symbolically replayed.
+// Returns all violations found (empty = sound).
+std::vector<planverify::Violation> verify_one(Codec& codec,
+                                              const ErasureCode& code,
+                                              const FailureScenario& sc,
+                                              bool* undecodable,
+                                              std::size_t* schedules) {
+  *undecodable = false;
+  const auto plan = codec.plan_for(sc);
+  if (plan == nullptr) {
+    *undecodable = true;
+    return {};
+  }
+  auto verdict = planverify::verify_plan(code, sc, *plan);
+  const auto check_schedule = [&](const SubPlan& sub) {
+    const Matrix& applied =
+        sub.sequence() == Sequence::kMatrixFirst ? sub.finv() : sub.s();
+    const auto sched = plan_xor_schedule(applied);
+    if (!sched.has_value()) return;  // non-binary system: no XOR schedule
+    ++*schedules;
+    auto xv = planverify::verify_xor_schedule(applied, *sched);
+    verdict.violations.insert(verdict.violations.end(),
+                              xv.violations.begin(), xv.violations.end());
+  };
+  for (const SubPlan& sub : plan->groups()) check_schedule(sub);
+  if (plan->rest().has_value()) check_schedule(*plan->rest());
+  return std::move(verdict.violations);
+}
+
+// Offline plan-space vetting for operators: verify the plan of one
+// scenario (--scenario or the family default), or of every combination of
+// up to --sweep whole-disk failures. Pass/fail report on stderr; the
+// Violation list as JSON on stdout when verification fails.
+int cmd_verify(const ErasureCode& code, const Args& args) {
+  Codec codec(code);
+  std::size_t checked = 0;
+  std::size_t undecodable_count = 0;
+  std::size_t schedules = 0;
+  std::vector<planverify::Violation> violations;
+
+  const auto run_one = [&](const FailureScenario& sc) {
+    bool undecodable = false;
+    auto v = verify_one(codec, code, sc, &undecodable, &schedules);
+    ++checked;
+    if (undecodable) {
+      ++undecodable_count;
+      return;
+    }
+    if (!v.empty()) {
+      std::string ids;
+      for (const std::size_t b : sc.faulty()) {
+        ids += (ids.empty() ? "" : ",") + std::to_string(b);
+      }
+      std::fprintf(stderr, "FAIL: scenario [%s]: %zu violation(s)\n",
+                   ids.c_str(), v.size());
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  };
+
+  if (args.flags.contains("sweep")) {
+    // Every combination of 1..sweep failed disks (each disk failure
+    // erases that disk's blocks in every row of the stripe).
+    const std::size_t max_disks =
+        std::min(args.get("sweep", 1), code.disks());
+    std::vector<std::size_t> combo;
+    const auto recurse = [&](auto&& self, std::size_t next,
+                             std::size_t remaining) -> void {
+      if (remaining == 0) {
+        std::vector<std::size_t> faulty;
+        for (const std::size_t d : combo) {
+          for (std::size_t row = 0; row < code.rows(); ++row) {
+            faulty.push_back(code.block_id(row, d));
+          }
+        }
+        run_one(FailureScenario(faulty));
+        return;
+      }
+      for (std::size_t d = next; d + remaining <= code.disks(); ++d) {
+        combo.push_back(d);
+        self(self, d + 1, remaining - 1);
+        combo.pop_back();
+      }
+    };
+    for (std::size_t k = 1; k <= max_disks; ++k) recurse(recurse, 0, k);
+  } else if (args.flags.contains("scenario")) {
+    run_one(parse_scenario_spec(args.get("scenario", std::string{})));
+  } else {
+    ScenarioGenerator gen(args.get("seed", 1));
+    run_one(make_scenario(code, args, gen));
+  }
+
+  std::fprintf(stderr,
+               "%s: %zu scenario(s) verified (%zu undecodable skipped), "
+               "%zu XOR schedule(s) replayed\n",
+               code.name().c_str(), checked - undecodable_count,
+               undecodable_count, schedules);
+  if (!violations.empty()) {
+    std::printf("%s\n", planverify::to_json(violations).c_str());
+    std::fprintf(stderr, "FAIL: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  if (checked == undecodable_count && checked > 0 &&
+      !args.flags.contains("sweep")) {
+    std::fprintf(stderr, "FAIL: scenario undecodable\n");
+    return 2;
+  }
+  std::fprintf(stderr, "PASS\n");
+  return 0;
+}
+
 int cmd_selftest(const ErasureCode& code, const Args& args) {
   const std::size_t block = args.get("block", 65536);
   ScenarioGenerator gen(args.get("seed", 1));
@@ -335,8 +462,9 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.command.empty()) {
     std::fprintf(stderr,
-                 "usage: %s {info|costs|bench|batch|selftest|sim} --code "
-                 "{sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} [params]\n",
+                 "usage: %s {info|costs|bench|batch|selftest|sim|verify} "
+                 "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
+                 "[params]\n",
                  argv[0]);
     return 2;
   }
@@ -348,6 +476,7 @@ int main(int argc, char** argv) {
     if (args.command == "batch") return cmd_batch(*code, args);
     if (args.command == "sim") return cmd_sim(*code, args);
     if (args.command == "selftest") return cmd_selftest(*code, args);
+    if (args.command == "verify") return cmd_verify(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -6,7 +6,9 @@
 //   * PPM and the traditional decoder agree on decodability;
 //   * both restore the stripe byte-for-byte when decodable;
 //   * the realized PPM op count equals the cost model's min(C3, C4);
-//   * the stripe passes syndrome verification afterwards.
+//   * the stripe passes syndrome verification afterwards;
+//   * the cached Codec plan for the scenario is planverify-clean, and a
+//     random binary matrix's XOR schedule survives symbolic replay.
 //
 //   ./ppm_fuzz [seconds] [seed]     (defaults: 10 seconds, seed 1 —
 //                                    deterministic for reproducibility)
@@ -82,8 +84,35 @@ int main(int argc, char** argv) {
   std::size_t trials = 0;
   std::size_t decodable = 0;
   std::size_t rejected = 0;
+  std::size_t verified_plans = 0;
+  std::size_t verified_schedules = 0;
   while (clock.seconds() < budget) {
     ++trials;
+
+    // Random binary matrix → XOR schedule → symbolic replay must prove it
+    // hazard-free and equivalent to the matrix.
+    {
+      const std::size_t srows = 1 + rng.bounded(12);
+      const std::size_t scols = 1 + rng.bounded(20);
+      Matrix g(gf::field(8), srows, scols);
+      for (std::size_t r = 0; r < srows; ++r) {
+        for (std::size_t c = 0; c < scols; ++c) {
+          g(r, c) = rng.bounded(100) < 45 ? 1 : 0;
+        }
+      }
+      const auto sched = plan_xor_schedule(g);
+      if (!sched.has_value()) {
+        std::fprintf(stderr, "FUZZ FAIL (binary matrix rejected)\n");
+        return 1;
+      }
+      const auto verdict = planverify::verify_xor_schedule(g, *sched);
+      if (!verdict.ok()) {
+        std::fprintf(stderr, "FUZZ FAIL (xor schedule verifier):\n%s\n",
+                     planverify::to_json(verdict.violations).c_str());
+        return 1;
+      }
+      ++verified_schedules;
+    }
     const auto code = random_code(rng);
     const std::size_t block =
         code->field().symbol_bytes() * (8 + rng.bounded(64));
@@ -143,13 +172,31 @@ int main(int argc, char** argv) {
                      code->name().c_str());
         return 1;
       }
+      // Every plan the codec would cache must be verifier-clean.
+      Codec codec(*code);
+      const auto plan = codec.plan_for(sc);
+      if (plan == nullptr) {
+        std::fprintf(stderr, "FUZZ FAIL (codec plan missing): %s\n",
+                     code->name().c_str());
+        return 1;
+      }
+      const auto verdict = planverify::verify_plan(*code, sc, *plan);
+      if (!verdict.ok()) {
+        std::fprintf(stderr, "FUZZ FAIL (plan verifier): %s\n%s\n",
+                     code->name().c_str(),
+                     planverify::to_json(verdict.violations).c_str());
+        return 1;
+      }
+      ++verified_plans;
     } else {
       ++rejected;
       std::memcpy(stripe.block(0), snap.data(), snap.size());
     }
   }
   std::printf("ppm_fuzz: %zu trials in %.1fs (%zu decodable, %zu beyond "
-              "tolerance), 0 failures\n",
-              trials, clock.seconds(), decodable, rejected);
+              "tolerance), %zu plans + %zu XOR schedules verifier-clean, "
+              "0 failures\n",
+              trials, clock.seconds(), decodable, rejected, verified_plans,
+              verified_schedules);
   return 0;
 }
