@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "analyze_hazard/hazard.h"
 #include "codes/crs_code.h"
 #include "codes/evenodd_code.h"
 #include "codes/rdp_code.h"
@@ -43,11 +44,20 @@ void report(const char* label, const ErasureCode& code,
     std::printf("%-22s (decode matrix not binary — skipped)\n", label);
     return;
   }
-  // Never time a schedule that is not statically proven sound.
+  // Never time a schedule that is not statically proven sound — serially
+  // (symbolic replay) and as a parallel program over target units
+  // (hazard DAG); the hazard profile also gives the critical path printed
+  // below, the floor no parallel executor of this schedule can beat.
   const auto verdict = planverify::verify_xor_schedule(g, *schedule);
   if (!verdict.ok()) {
     std::fprintf(stderr, "%s: schedule failed verification:\n%s\n", label,
                  planverify::to_json(verdict.violations).c_str());
+    std::exit(1);
+  }
+  const auto analysis = hazard::analyze_schedule(*schedule, g);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s: schedule has concurrency hazards:\n%s\n", label,
+                 planverify::to_json(analysis.violations).c_str());
     std::exit(1);
   }
   // Time naive vs scheduled application over regions.
@@ -91,18 +101,20 @@ void report(const char* label, const ErasureCode& code,
     execute_xor_schedule(*schedule, srcs.data(), tgts.data(), block);
     ts.push_back(t2.seconds());
   }
-  std::printf("%-22s %8zu %8zu %7.1f%% %9.3fms %9.3fms\n", label,
+  std::printf("%-22s %8zu %8zu %7.1f%% %9.3fms %9.3fms %7zu %7.2fx\n", label,
               schedule->naive_ops, schedule->cost(),
               100 * schedule->saving(), bench::median(std::move(tn)) * 1e3,
-              bench::median(std::move(ts)) * 1e3);
+              bench::median(std::move(ts)) * 1e3, analysis.critical_path,
+              analysis.speedup_bound());
 }
 
 }  // namespace
 
 int main() {
   bench::banner("Extension", "incremental XOR schedule vs naive (binary codes)");
-  std::printf("%-22s %8s %8s %8s %10s %10s\n", "code/failure", "naive",
-              "sched", "saving", "t-naive", "t-sched");
+  std::printf("%-22s %8s %8s %8s %10s %10s %7s %8s\n", "code/failure",
+              "naive", "sched", "saving", "t-naive", "t-sched", "cpath",
+              "maxspd");
 
   {
     const CRSCode code(8, 2, 8);

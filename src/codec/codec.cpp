@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analyze_hazard/hazard.h"
 #include "common/cpu.h"
 #include "common/timer.h"
 #include "decode/log_table.h"
@@ -100,6 +101,20 @@ std::shared_ptr<const CachedPlan> Codec::plan_for(
                              planverify::to_json(verdict.violations));
     }
     metrics_.plans_verified.add();
+  }
+  // And prove its parallel fan-out race-free for every interleaving —
+  // serial soundness (above) says the bytes are right one sub-plan at a
+  // time; this says the TaskGroup fan-out can't corrupt them either.
+  {
+    const auto analysis = hazard::analyze_plan(*plan);
+    if (!analysis.ok()) {
+      metrics_.hazard_failures.add();
+      throw std::logic_error("PPM_VERIFY_PLANS: concurrency hazard: " +
+                             planverify::to_json(analysis.violations));
+    }
+    metrics_.plans_analyzed.add();
+    metrics_.analyzed_work.add(analysis.total_work);
+    metrics_.analyzed_critical_path.add(analysis.critical_path);
   }
 #endif
   metrics_.plan_seconds.record_seconds(build.seconds());

@@ -95,6 +95,10 @@ void CodecMetrics::reset() {
   plan_failures.reset();
   plans_verified.reset();
   plan_verify_failures.reset();
+  plans_analyzed.reset();
+  hazard_failures.reset();
+  analyzed_work.reset();
+  analyzed_critical_path.reset();
   decodes.reset();
   batches.reset();
   stripes_decoded.reset();
@@ -115,6 +119,12 @@ std::string CodecMetrics::to_json() const {
   append_kv(out, "failures", plan_failures.value());
   append_kv(out, "verified", plans_verified.value());
   append_kv(out, "verify_failures", plan_verify_failures.value(), false);
+  out += "},\"hazard\":{";
+  append_kv(out, "analyzed", plans_analyzed.value());
+  append_kv(out, "failures", hazard_failures.value());
+  append_kv(out, "work_mult_xors", analyzed_work.value());
+  append_kv(out, "critical_path_mult_xors", analyzed_critical_path.value(),
+            false);
   out += "},\"decode\":{";
   append_kv(out, "decodes", decodes.value());
   append_kv(out, "batches", batches.value());

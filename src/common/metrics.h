@@ -128,6 +128,15 @@ struct CodecMetrics {
   Counter plans_verified;        ///< plans proven sound before caching
   Counter plan_verify_failures;  ///< plans rejected by the verifier
 
+  // Concurrency-hazard analysis (analyze_hazard/; populated alongside
+  // plan verification). The two accumulators divide into the fleet-level
+  // parallelism picture: analyzed_work / analyzed_critical_path is the
+  // average max-speedup bound over every plan built.
+  Counter plans_analyzed;         ///< plans proven race-free before caching
+  Counter hazard_failures;        ///< plans with a concurrency hazard
+  Counter analyzed_work;          ///< Σ total mult_XOR work of analyzed plans
+  Counter analyzed_critical_path; ///< Σ critical-path mult_XORs of same
+
   // Decode volume.
   Counter decodes;          ///< single-stripe decode() calls
   Counter batches;          ///< decode_batch() calls

@@ -8,7 +8,32 @@
 #include "common/timer.h"
 #include "decode/plan.h"
 
+#ifdef PPM_VERIFY_PLANS
+#include <stdexcept>
+
+#include "analyze_hazard/hazard.h"
+#include "verify_plan/violation.h"
+#endif
+
 namespace ppm {
+
+std::vector<SliceRange> plan_slices(std::size_t block_bytes,
+                                    unsigned symbol_bytes, unsigned threads) {
+  std::vector<SliceRange> slices;
+  const std::size_t symbols = block_bytes / symbol_bytes;
+  const std::size_t t =
+      std::max<std::size_t>(1, std::min<std::size_t>(threads, symbols));
+  const std::size_t per = symbols / t;
+  const std::size_t extra = symbols % t;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t len = (per + (i < extra ? 1 : 0)) * symbol_bytes;
+    if (len == 0) continue;  // fewer symbols than slices: drop empty tails
+    slices.push_back(SliceRange{offset, len});
+    offset += len;
+  }
+  return slices;
+}
 
 double BlockParallelResult::modeled_seconds() const {
   double makespan = 0;
@@ -44,45 +69,46 @@ std::optional<BlockParallelResult> BlockParallelDecoder::decode(
   result.plan_seconds = total.seconds();
 
   // Slice the block range into T symbol-aligned contiguous chunks.
-  unsigned t = threads_ != 0 ? threads_ : std::min(4u, hardware_threads());
+  const unsigned t =
+      threads_ != 0 ? threads_ : std::min(4u, hardware_threads());
   const unsigned sym = code_->field().symbol_bytes();
-  const std::size_t symbols = block_bytes / sym;
-  t = std::max(1u, std::min<unsigned>(t, static_cast<unsigned>(symbols)));
-  result.slices = t;
-
-  struct Slice {
-    std::size_t offset;
-    std::size_t len;
-    std::vector<std::uint8_t*> view;
-  };
-  std::vector<Slice> slices(t);
-  const std::size_t per = symbols / t;
-  const std::size_t extra = symbols % t;
-  std::size_t offset = 0;
-  for (unsigned i = 0; i < t; ++i) {
-    const std::size_t len = (per + (i < extra ? 1 : 0)) * sym;
-    slices[i].offset = offset;
-    slices[i].len = len;
-    slices[i].view.resize(code_->total_blocks());
-    for (std::size_t b = 0; b < code_->total_blocks(); ++b) {
-      slices[i].view[b] = blocks[b] + offset;
+  const std::vector<SliceRange> ranges = plan_slices(block_bytes, sym, t);
+#ifdef PPM_VERIFY_PLANS
+  // Statically prove the slice fan-out race-free before spawning it: the
+  // ranges must be symbol-aligned, disjoint and tile [0, block_bytes)
+  // exactly once for every interleaving to be safe.
+  {
+    const auto verdict = hazard::analyze_slices(*plan, ranges, block_bytes,
+                                                sym);
+    if (!verdict.ok()) {
+      throw std::logic_error("PPM_VERIFY_PLANS: slice fan-out rejected: " +
+                             planverify::to_json(verdict.violations));
     }
-    offset += len;
+  }
+#endif
+  result.slices = static_cast<unsigned>(std::max<std::size_t>(
+      1, ranges.size()));
+
+  std::vector<std::vector<std::uint8_t*>> views(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    views[i].resize(code_->total_blocks());
+    for (std::size_t b = 0; b < code_->total_blocks(); ++b) {
+      views[i][b] = blocks[b] + ranges[i].offset;
+    }
   }
 
-  result.slice_seconds.assign(t, 0.0);
-  const auto run_slice = [&](unsigned i) {
-    if (slices[i].len == 0) return;
+  result.slice_seconds.assign(result.slices, 0.0);
+  const auto run_slice = [&](std::size_t i) {
     const Timer st;
-    plan->execute(slices[i].view.data(), slices[i].len, nullptr);
+    plan->execute(views[i].data(), ranges[i].bytes, nullptr);
     result.slice_seconds[i] = st.seconds();
   };
-  if (t == 1 || sequential_) {
-    for (unsigned i = 0; i < t; ++i) run_slice(i);
+  if (ranges.size() <= 1 || sequential_) {
+    for (std::size_t i = 0; i < ranges.size(); ++i) run_slice(i);
   } else {
     std::vector<std::jthread> workers;
-    workers.reserve(t);
-    for (unsigned i = 0; i < t; ++i) {
+    workers.reserve(ranges.size());
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
       workers.emplace_back([&, i] { run_slice(i); });
     }
     workers.clear();  // join

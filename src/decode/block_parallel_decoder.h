@@ -22,6 +22,22 @@
 
 namespace ppm {
 
+/// One contiguous byte range of every block region, processed by one
+/// worker. Produced by plan_slices(); consumed by the decoder and by the
+/// hazard analyzer (analyze_hazard/), which proves the ranges disjoint,
+/// symbol-aligned and an exact tiling of [0, block_bytes).
+struct SliceRange {
+  std::size_t offset = 0;  ///< first byte of the slice
+  std::size_t bytes = 0;   ///< slice length (multiple of the symbol size)
+};
+
+/// Split [0, block_bytes) into at most `threads` contiguous symbol-aligned
+/// slices of near-equal size. Fewer slices are returned when there are not
+/// enough symbols to go around; zero-length tails are never emitted.
+/// `block_bytes` must be a multiple of `symbol_bytes`.
+std::vector<SliceRange> plan_slices(std::size_t block_bytes,
+                                    unsigned symbol_bytes, unsigned threads);
+
 struct BlockParallelResult {
   DecodeStats stats;           ///< ops counted once (slices don't multiply C)
   Sequence sequence_used = Sequence::kMatrixFirst;

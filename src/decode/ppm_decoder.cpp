@@ -10,6 +10,13 @@
 #include "decode/partition.h"
 #include "parallel/task_group.h"
 
+#ifdef PPM_VERIFY_PLANS
+#include <stdexcept>
+
+#include "analyze_hazard/hazard.h"
+#include "verify_plan/violation.h"
+#endif
+
 namespace ppm {
 
 double PpmResult::modeled_seconds_lpt(unsigned lanes) const {
@@ -100,6 +107,21 @@ std::optional<PpmResult> PpmDecoder::decode(const FailureScenario& scenario,
     result.rest_sequence = seq;
   }
   result.plan_seconds = total.seconds();
+
+#ifdef PPM_VERIFY_PLANS
+  // Statically prove the group fan-out race-free before spawning it: the
+  // groups run concurrently below, and a write/write or read/write
+  // overlap between them would corrupt blocks under *some* interleaving
+  // even if this run happens not to hit it.
+  {
+    const auto analysis = hazard::analyze(hazard::graph_of_subplans(
+        group_plans, rest_plan.has_value() ? &*rest_plan : nullptr));
+    if (!analysis.ok()) {
+      throw std::logic_error("PPM_VERIFY_PLANS: concurrency hazard: " +
+                             planverify::to_json(analysis.violations));
+    }
+  }
+#endif
 
   // Effective thread count: the paper's T <= min(4, cores), further capped
   // at p to avoid idle workers.

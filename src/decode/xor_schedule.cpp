@@ -99,6 +99,18 @@ std::optional<XorSchedule> plan_xor_schedule(const Matrix& g) {
   return schedule;
 }
 
+std::vector<TargetSpan> target_spans(const XorSchedule& schedule,
+                                     std::size_t rows) {
+  std::vector<TargetSpan> spans(rows);
+  for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
+    const std::size_t t = schedule.ops[i].target;
+    if (t >= rows) continue;
+    if (spans[t].first_op == kNoOp) spans[t].first_op = i;
+    spans[t].last_op = i;
+  }
+  return spans;
+}
+
 void execute_xor_schedule(const XorSchedule& schedule,
                           std::uint8_t* const* sources,
                           std::uint8_t* const* targets, std::size_t bytes) {

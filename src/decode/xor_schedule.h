@@ -45,6 +45,22 @@ struct XorSchedule {
 /// rows, sources = columns). std::nullopt if any entry exceeds 1.
 std::optional<XorSchedule> plan_xor_schedule(const Matrix& g);
 
+/// First/last op index touching one target row — the op-stream span of
+/// that target's execution unit. `kNoOp` marks a row with no ops. The
+/// hazard analyzer (analyze_hazard/) treats each target's span as one
+/// schedulable unit: disjoint spans whose from_output edges respect span
+/// order can run concurrently.
+inline constexpr std::size_t kNoOp = static_cast<std::size_t>(-1);
+struct TargetSpan {
+  std::size_t first_op = kNoOp;
+  std::size_t last_op = kNoOp;
+};
+
+/// Per-target op spans of `schedule` over a `rows`-target system. Ops with
+/// out-of-range targets are ignored (the verifier flags them separately).
+std::vector<TargetSpan> target_spans(const XorSchedule& schedule,
+                                     std::size_t rows);
+
 /// Execute: `targets[r]` = XOR of sources per schedule; `sources[c]` are
 /// the survivor regions. Regions are `bytes` long.
 void execute_xor_schedule(const XorSchedule& schedule,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "analysis/closed_form.h"
+#include "analyze_hazard/hazard.h"
 #include "codec/codec.h"
 #include "codec/update.h"
 #include "codes/coeff_search.h"

@@ -56,6 +56,16 @@ const char* kind_name(ViolationKind kind) {
       return "xor_wrong_result";
     case ViolationKind::kXorCostMismatch:
       return "xor_cost_mismatch";
+    case ViolationKind::kConcurrentWriteOverlap:
+      return "concurrent_write_overlap";
+    case ViolationKind::kConcurrentReadWriteOverlap:
+      return "concurrent_read_write_overlap";
+    case ViolationKind::kDependencyCycle:
+      return "dependency_cycle";
+    case ViolationKind::kSliceMisalignment:
+      return "slice_misalignment";
+    case ViolationKind::kUnorderedFromOutputUse:
+      return "unordered_from_output_use";
   }
   return "unknown";
 }

@@ -53,6 +53,15 @@ enum class ViolationKind {
   kXorTargetNeverWritten,  ///< a matrix row has no ops at all
   kXorWrongResult,         ///< symbolic replay differs from the matrix row
   kXorCostMismatch,        ///< naive_ops != u(G) (+ zero-row fix-ups)
+
+  // Concurrency-hazard invariants (analyze_hazard/): checks over the
+  // dependency DAG of execution units the decoders would run in parallel.
+  // For these kinds `sub_plan` carries the *unit* index within the graph.
+  kConcurrentWriteOverlap,     ///< unordered units write overlapping bytes
+  kConcurrentReadWriteOverlap, ///< unordered units read/write the same bytes
+  kDependencyCycle,            ///< ordering edges form a cycle (no schedule)
+  kSliceMisalignment,          ///< region slices unaligned or not an exact tiling
+  kUnorderedFromOutputUse,     ///< from_output source not ordered before its use
 };
 
 /// Stable lowercase identifier for a kind (e.g. "singular_f"); used in the

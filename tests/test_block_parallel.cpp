@@ -86,6 +86,72 @@ TEST(BlockParallel, TinyBlocksCapSliceCount) {
   EXPECT_TRUE(stripe.equals(snap));
 }
 
+// plan_slices is the decoder's only slicing authority, so its geometric
+// contract — symbol-aligned slices covering [0, block_bytes) exactly once,
+// in order — must hold even for degenerate regions.
+void expect_exact_tiling(const std::vector<SliceRange>& slices,
+                         std::size_t block_bytes, unsigned sym) {
+  std::size_t expected = 0;
+  for (const SliceRange& s : slices) {
+    EXPECT_EQ(s.offset, expected);
+    EXPECT_GT(s.bytes, 0u);
+    EXPECT_EQ(s.offset % sym, 0u);
+    EXPECT_EQ(s.bytes % sym, 0u);
+    expected = s.offset + s.bytes;
+  }
+  // Coverage is exact up to the symbol floor; a non-multiple tail cannot
+  // be decoded by any slice and is excluded by contract.
+  EXPECT_EQ(expected, block_bytes / sym * sym);
+}
+
+TEST(PlanSlices, RegionSmallerThanThreadsTimesSymbol) {
+  // 3 two-byte symbols across 8 requested threads: capped at 3 slices.
+  const auto slices = plan_slices(6, 2, 8);
+  EXPECT_EQ(slices.size(), 3u);
+  expect_exact_tiling(slices, 6, 2);
+}
+
+TEST(PlanSlices, SingleThreadIsOneFullSlice) {
+  const auto slices = plan_slices(4096, 4, 1);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].offset, 0u);
+  EXPECT_EQ(slices[0].bytes, 4096u);
+  expect_exact_tiling(slices, 4096, 4);
+}
+
+TEST(PlanSlices, NonMultipleOfSymbolRegionStaysAligned) {
+  // 4099 bytes of 4-byte symbols: only the 4096-byte symbol floor is
+  // sliceable, and every boundary stays aligned.
+  const auto slices = plan_slices(4099, 4, 4);
+  EXPECT_EQ(slices.size(), 4u);
+  expect_exact_tiling(slices, 4099, 4);
+}
+
+TEST(PlanSlices, UnevenSymbolCountsSpreadTheRemainder) {
+  // 10 symbols over 4 threads: 3+3+2+2, never 0-length, exact cover.
+  const auto slices = plan_slices(10, 1, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices[0].bytes, 3u);
+  EXPECT_EQ(slices[1].bytes, 3u);
+  EXPECT_EQ(slices[2].bytes, 2u);
+  EXPECT_EQ(slices[3].bytes, 2u);
+  expect_exact_tiling(slices, 10, 1);
+}
+
+TEST(PlanSlices, RegionSmallerThanOneSymbolYieldsNoSlices) {
+  EXPECT_TRUE(plan_slices(3, 4, 2).empty());
+}
+
+TEST(PlanSlices, SweepAlwaysTilesExactly) {
+  for (const unsigned sym : {1u, 2u, 4u}) {
+    for (std::size_t block = 0; block <= 64; ++block) {
+      for (const unsigned threads : {1u, 2u, 3u, 7u, 64u}) {
+        expect_exact_tiling(plan_slices(block, sym, threads), block, sym);
+      }
+    }
+  }
+}
+
 TEST(BlockParallel, ModeledSecondsIsPlanPlusSlowestSlice) {
   const SDCode code(8, 8, 2, 2, 8);
   Stripe stripe(code, 8192);

@@ -1,0 +1,274 @@
+// The hazard analyzer (analyze_hazard/) must prove every plan the library
+// actually builds race-free — and reject hand-built hazardous plans with
+// the *matching* new Violation kind. It must also report a parallelism
+// profile (critical path, level widths, speedup bound) that agrees with
+// hand-computed values on a known scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "test_util.h"
+
+namespace ppm {
+namespace {
+
+using planverify::Violation;
+using planverify::ViolationKind;
+
+bool has_kind(const std::vector<Violation>& violations, ViolationKind kind) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+// Minimal synthetic sub-plan: the analyzer only consumes unknowns,
+// survivors and cost, so the matrices can stay empty.
+SubPlan make_unit(const gf::Field& f, std::vector<std::size_t> unknowns,
+                  std::vector<std::size_t> survivors, std::size_t cost) {
+  return SubPlan::from_parts(f, Sequence::kMatrixFirst, std::move(unknowns),
+                             std::move(survivors), /*check_rows=*/{},
+                             Matrix(f, 0, 0), Matrix(f, 0, 0), cost,
+                             /*source_blocks=*/0);
+}
+
+XorOp ow(std::size_t target, std::size_t source) {
+  return XorOp{/*from_output=*/false, source, target, /*overwrite=*/true};
+}
+
+XorOp xor_out(std::size_t target, std::size_t source) {
+  return XorOp{/*from_output=*/true, source, target, /*overwrite=*/false};
+}
+
+// ---------------------------------------------------------------------------
+// Real plans are provably hazard-free with a coherent profile.
+
+TEST(HazardCleanPlans, EveryFamilyWorstCase) {
+  std::vector<std::unique_ptr<ErasureCode>> codes;
+  codes.push_back(std::make_unique<SDCode>(8, 16, 2, 2, 8));
+  codes.push_back(std::make_unique<PMDSCode>(8, 16, 2, 2, 8));
+  codes.push_back(std::make_unique<LRCCode>(12, 3, 2, 8));
+  codes.push_back(std::make_unique<XorbasLRCCode>(10, 2, 4, 8));
+  codes.push_back(std::make_unique<RSCode>(10, 4, 8));
+  codes.push_back(std::make_unique<CRSCode>(10, 4, 8));
+  codes.push_back(std::make_unique<EvenOddCode>(7));
+  codes.push_back(std::make_unique<RDPCode>(7));
+  codes.push_back(std::make_unique<StarCode>(7));
+  for (const auto& code : codes) {
+    ScenarioGenerator gen(1);
+    const auto sc = gen.disk_failures(*code, 2).scenario;
+    Codec codec(*code);
+    const auto plan = codec.plan_for(sc);
+    ASSERT_NE(plan, nullptr) << code->name();
+    const auto analysis = hazard::analyze_plan(*plan);
+    EXPECT_TRUE(analysis.ok())
+        << code->name() << ": " << planverify::to_json(analysis.violations);
+    EXPECT_EQ(analysis.total_work, plan->cost()) << code->name();
+    EXPECT_LE(analysis.critical_path, analysis.total_work) << code->name();
+    EXPECT_GE(analysis.speedup_bound(), 1.0) << code->name();
+  }
+}
+
+TEST(HazardCleanPlans, RealXorSchedulesAreHazardFree) {
+  // CRS worst case exercises real planner schedules over the bit matrix.
+  CRSCode code(10, 4, 8);
+  ScenarioGenerator gen(3);
+  const auto sc = gen.disk_failures(code, 4).scenario;
+  Codec codec(code);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  std::size_t schedules = 0;
+  const auto check = [&](const SubPlan& sub) {
+    const Matrix& applied =
+        sub.sequence() == Sequence::kMatrixFirst ? sub.finv() : sub.s();
+    const auto sched = plan_xor_schedule(applied);
+    if (!sched.has_value()) return;
+    ++schedules;
+    const auto analysis = hazard::analyze_schedule(*sched, applied);
+    EXPECT_TRUE(analysis.ok())
+        << planverify::to_json(analysis.violations);
+    EXPECT_LE(analysis.critical_path, analysis.total_work);
+    EXPECT_GE(analysis.speedup_bound(), 1.0);
+  };
+  for (const SubPlan& sub : plan->groups()) check(sub);
+  if (plan->rest().has_value()) check(*plan->rest());
+  EXPECT_GE(schedules, 1u);
+}
+
+TEST(HazardCleanPlans, PlannedSlicesAreHazardFree) {
+  RSCode code(6, 3, 8);
+  const FailureScenario sc({0, 1});
+  const Matrix& h = code.parity_check();
+  std::vector<std::size_t> rows(h.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  const auto plan = SubPlan::make(h, rows, sc.faulty(), sc.faulty(),
+                                  Sequence::kMatrixFirst);
+  ASSERT_TRUE(plan.has_value());
+  for (const std::size_t block : {4096ul, 100ul, 1ul, 7ul}) {
+    for (const unsigned threads : {1u, 4u, 64u}) {
+      const auto slices = plan_slices(block, 1, threads);
+      const auto analysis = hazard::analyze_slices(*plan, slices, block, 1);
+      EXPECT_TRUE(analysis.ok())
+          << "block=" << block << " threads=" << threads << ": "
+          << planverify::to_json(analysis.violations);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-computed cross-check on a known SD-code scenario: the exact numbers
+// `ppm_cli analyze` reports (it prints analyze_plan's profile verbatim).
+
+TEST(HazardProfile, SdWorstCaseMatchesHandComputedBounds) {
+  SDCode code(8, 16, 2, 2, 8);
+  ScenarioGenerator gen(1);
+  const auto sc = gen.sd_worst_case(code, 2, 2, 1).scenario;
+  Codec codec(code);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_GE(plan->groups().size(), 2u);  // p independent groups
+  ASSERT_TRUE(plan->rest().has_value());
+
+  const auto analysis = hazard::analyze_plan(*plan);
+  ASSERT_TRUE(analysis.ok());
+
+  // By hand: the groups are mutually unordered roots, rest runs after all
+  // of them — so the critical path is the heaviest group chain into rest,
+  // the total is the serial sum, and the DAG has exactly two levels of
+  // widths {p, 1}.
+  std::size_t total = plan->rest()->cost();
+  std::size_t heaviest = 0;
+  for (const SubPlan& g : plan->groups()) {
+    total += g.cost();
+    heaviest = std::max(heaviest, g.cost());
+  }
+  EXPECT_EQ(analysis.total_work, total);
+  EXPECT_EQ(analysis.critical_path, heaviest + plan->rest()->cost());
+  ASSERT_EQ(analysis.level_width.size(), 2u);
+  EXPECT_EQ(analysis.level_width[0], plan->groups().size());
+  EXPECT_EQ(analysis.level_width[1], 1u);
+  EXPECT_EQ(analysis.max_width, plan->groups().size());
+  EXPECT_DOUBLE_EQ(analysis.speedup_bound(),
+                   static_cast<double>(total) /
+                       static_cast<double>(heaviest + plan->rest()->cost()));
+}
+
+TEST(HazardProfile, EmptyGraphHasUnitSpeedup) {
+  const auto analysis = hazard::analyze(hazard::HazardGraph{});
+  EXPECT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.total_work, 0u);
+  EXPECT_EQ(analysis.critical_path, 0u);
+  EXPECT_DOUBLE_EQ(analysis.speedup_bound(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Five deliberately hazardous constructions, each tripping the matching
+// new violation kind.
+
+TEST(HazardViolations, DuplicateGroupsTripConcurrentWriteOverlap) {
+  const gf::Field& f = gf::field(8);
+  // Two "independent" groups writing the same unknown block — the
+  // TaskGroup fan-out would race on block 0's bytes.
+  auto plan = CachedPlan::assemble(
+      {make_unit(f, {0}, {2, 3}, 4), make_unit(f, {0, 1}, {3, 4}, 4)},
+      std::nullopt);
+  const auto analysis = hazard::analyze_plan(plan);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_TRUE(has_kind(analysis.violations,
+                       ViolationKind::kConcurrentWriteOverlap));
+  EXPECT_FALSE(has_kind(analysis.violations,
+                        ViolationKind::kDependencyCycle));
+}
+
+TEST(HazardViolations, GroupReadingPeerOutputTripsReadWriteOverlap) {
+  const gf::Field& f = gf::field(8);
+  // Group 1 reads block 0, which group 0 concurrently writes. Disjoint
+  // writes, so only the read/write hazard fires.
+  auto plan = CachedPlan::assemble(
+      {make_unit(f, {0}, {2, 3}, 4), make_unit(f, {1}, {0, 3}, 4)},
+      std::nullopt);
+  const auto analysis = hazard::analyze_plan(plan);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_TRUE(has_kind(analysis.violations,
+                       ViolationKind::kConcurrentReadWriteOverlap));
+  EXPECT_FALSE(has_kind(analysis.violations,
+                        ViolationKind::kConcurrentWriteOverlap));
+}
+
+TEST(HazardViolations, MutualFromOutputReadsTripDependencyCycle) {
+  const gf::Field& f = gf::field(8);
+  const Matrix g(f, 2, 2);  // shape only; the schedule is hand-built
+  XorSchedule sched;
+  sched.ops = {ow(0, 0), ow(1, 1), xor_out(0, 1), xor_out(1, 0)};
+  const auto analysis = hazard::analyze_schedule(sched, g);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_TRUE(has_kind(analysis.violations, ViolationKind::kDependencyCycle));
+  // No schedule exists, so the only sound critical path is the serial sum.
+  EXPECT_EQ(analysis.critical_path, analysis.total_work);
+}
+
+TEST(HazardViolations, BadSliceGeometryTripsSliceMisalignment) {
+  const gf::Field& f = gf::field(8);
+  const SubPlan plan = make_unit(f, {0}, {1, 2}, 3);
+  // Unaligned boundary (6 is not a multiple of symbol size 4).
+  {
+    const std::vector<SliceRange> slices = {{0, 6}, {6, 10}};
+    const auto a = hazard::analyze_slices(plan, slices, 16, 4);
+    EXPECT_TRUE(has_kind(a.violations, ViolationKind::kSliceMisalignment));
+  }
+  // Gap between slices: [0,8) then [12,16) leaves [8,12) undecoded.
+  {
+    const std::vector<SliceRange> slices = {{0, 8}, {12, 4}};
+    const auto a = hazard::analyze_slices(plan, slices, 16, 4);
+    EXPECT_TRUE(has_kind(a.violations, ViolationKind::kSliceMisalignment));
+  }
+  // Overlapping slices additionally race on the shared bytes.
+  {
+    const std::vector<SliceRange> slices = {{0, 12}, {8, 8}};
+    const auto a = hazard::analyze_slices(plan, slices, 16, 4);
+    EXPECT_TRUE(has_kind(a.violations, ViolationKind::kSliceMisalignment));
+    EXPECT_TRUE(
+        has_kind(a.violations, ViolationKind::kConcurrentWriteOverlap));
+  }
+  // Short coverage: slices must tile the whole region.
+  {
+    const std::vector<SliceRange> slices = {{0, 8}};
+    const auto a = hazard::analyze_slices(plan, slices, 16, 4);
+    EXPECT_TRUE(has_kind(a.violations, ViolationKind::kSliceMisalignment));
+  }
+}
+
+TEST(HazardViolations, PartialSourceReadTripsUnorderedFromOutputUse) {
+  const gf::Field& f = gf::field(8);
+  // t0 = c0 ^ t1, t1 = c1: serially legal (t1 is final before op 2 runs)
+  // but t0's unit starts at op 0, before t1 is written — a unit-concurrent
+  // executor could read a partial t1.
+  Matrix g(f, 2, 2);
+  g(0, 0) = 1;
+  g(0, 1) = 1;
+  g(1, 1) = 1;
+  XorSchedule sched;
+  sched.ops = {ow(0, 0), ow(1, 1), xor_out(0, 1)};
+  sched.naive_ops = 3;  // u(G): one op per nonzero of g
+  ASSERT_TRUE(planverify::verify_xor_schedule(g, sched).ok())
+      << "trigger must stay serially sound to isolate the new kind";
+  const auto analysis = hazard::analyze_schedule(sched, g);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_TRUE(
+      has_kind(analysis.violations, ViolationKind::kUnorderedFromOutputUse));
+  EXPECT_FALSE(has_kind(analysis.violations, ViolationKind::kDependencyCycle));
+}
+
+TEST(HazardViolations, NeverWrittenSourceTripsUnorderedFromOutputUse) {
+  const gf::Field& f = gf::field(8);
+  const Matrix g(f, 2, 2);
+  XorSchedule sched;
+  sched.ops = {ow(0, 0), xor_out(0, 1)};  // target 1 never written
+  const auto analysis = hazard::analyze_schedule(sched, g);
+  EXPECT_TRUE(
+      has_kind(analysis.violations, ViolationKind::kUnorderedFromOutputUse));
+}
+
+}  // namespace
+}  // namespace ppm

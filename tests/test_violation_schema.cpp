@@ -1,0 +1,98 @@
+// Golden pin of the Violation JSON schema. `ppm_cli verify`/`analyze`
+// emit this JSON for operator tooling, so the field names, optional-field
+// omission rules, and every kind string are a public contract: renaming a
+// kind or field silently breaks downstream parsers. Any change here must
+// be deliberate and documented in docs/STATIC_ANALYSIS.md.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "verify_plan/violation.h"
+
+namespace ppm::planverify {
+namespace {
+
+// Every ViolationKind in declaration order, paired with its wire name.
+// Append-only: adding a kind extends this table; renaming or reordering
+// existing entries breaks saved reports and must fail this test.
+const std::vector<std::pair<ViolationKind, const char*>> kGoldenKinds = {
+    {ViolationKind::kDuplicateRecovery, "duplicate_recovery"},
+    {ViolationKind::kMissingRecovery, "missing_recovery"},
+    {ViolationKind::kUnexpectedRecovery, "unexpected_recovery"},
+    {ViolationKind::kShapeMismatch, "shape_mismatch"},
+    {ViolationKind::kUnknownOutOfBounds, "unknown_out_of_bounds"},
+    {ViolationKind::kSurvivorOutOfBounds, "survivor_out_of_bounds"},
+    {ViolationKind::kRowOutOfBounds, "row_out_of_bounds"},
+    {ViolationKind::kDuplicateIndex, "duplicate_index"},
+    {ViolationKind::kSourceAliasesTarget, "source_aliases_target"},
+    {ViolationKind::kForbiddenSource, "forbidden_source"},
+    {ViolationKind::kUncoveredColumn, "uncovered_column"},
+    {ViolationKind::kSingularF, "singular_f"},
+    {ViolationKind::kInverseMismatch, "inverse_mismatch"},
+    {ViolationKind::kMatrixMismatch, "matrix_mismatch"},
+    {ViolationKind::kCostMismatch, "cost_mismatch"},
+    {ViolationKind::kSourceBlocksMismatch, "source_blocks_mismatch"},
+    {ViolationKind::kXorNotBinary, "xor_not_binary"},
+    {ViolationKind::kXorIndexOutOfBounds, "xor_index_out_of_bounds"},
+    {ViolationKind::kXorMissingOverwrite, "xor_missing_overwrite"},
+    {ViolationKind::kXorOverwriteAfterWrite, "xor_overwrite_after_write"},
+    {ViolationKind::kXorSelfReference, "xor_self_reference"},
+    {ViolationKind::kXorReadBeforeFinal, "xor_read_before_final"},
+    {ViolationKind::kXorTargetNeverWritten, "xor_target_never_written"},
+    {ViolationKind::kXorWrongResult, "xor_wrong_result"},
+    {ViolationKind::kXorCostMismatch, "xor_cost_mismatch"},
+    {ViolationKind::kConcurrentWriteOverlap, "concurrent_write_overlap"},
+    {ViolationKind::kConcurrentReadWriteOverlap,
+     "concurrent_read_write_overlap"},
+    {ViolationKind::kDependencyCycle, "dependency_cycle"},
+    {ViolationKind::kSliceMisalignment, "slice_misalignment"},
+    {ViolationKind::kUnorderedFromOutputUse, "unordered_from_output_use"},
+};
+
+TEST(ViolationSchema, EveryKindStringIsPinned) {
+  ASSERT_EQ(kGoldenKinds.size(), 30u);
+  for (const auto& [kind, name] : kGoldenKinds) {
+    EXPECT_STREQ(kind_name(kind), name);
+  }
+}
+
+TEST(ViolationSchema, KindEnumIsDenseAndCovered) {
+  // The golden table must cover the enum exactly: kind values are the
+  // dense range [0, size) with no holes a new kind could hide in.
+  for (std::size_t i = 0; i < kGoldenKinds.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(kGoldenKinds[i].first), i);
+  }
+}
+
+TEST(ViolationSchema, JsonFieldNamesAndOmissionRules) {
+  // Full location: all four fields, in this exact order.
+  const Violation full{ViolationKind::kXorSelfReference, 2, 7, "op reads"};
+  // Plan-level: sub_plan and op omitted entirely (never null, never -1).
+  const Violation bare{ViolationKind::kMissingRecovery, kNoIndex, kNoIndex,
+                       "block 3"};
+  // Unit-level hazard: sub_plan carries the unit index, op omitted.
+  const Violation unit{ViolationKind::kConcurrentWriteOverlap, 1, kNoIndex,
+                       "group 0 and group 1"};
+  const std::vector<Violation> all = {full, bare, unit};
+  EXPECT_EQ(to_json(all),
+            "[{\"kind\":\"xor_self_reference\",\"sub_plan\":2,\"op\":7,"
+            "\"message\":\"op reads\"},"
+            "{\"kind\":\"missing_recovery\",\"message\":\"block 3\"},"
+            "{\"kind\":\"concurrent_write_overlap\",\"sub_plan\":1,"
+            "\"message\":\"group 0 and group 1\"}]");
+}
+
+TEST(ViolationSchema, JsonEscapesControlAndQuoteCharacters) {
+  const Violation v{ViolationKind::kCostMismatch, kNoIndex, kNoIndex,
+                    "say \"42\" \\ tab\there\nnul\x01"};
+  EXPECT_EQ(to_json({&v, 1}),
+            "[{\"kind\":\"cost_mismatch\",\"message\":"
+            "\"say \\\"42\\\" \\\\ tab\\there\\nnul\\u0001\"}]");
+}
+
+TEST(ViolationSchema, EmptyListIsEmptyArray) {
+  EXPECT_EQ(to_json({}), "[]");
+}
+
+}  // namespace
+}  // namespace ppm::planverify

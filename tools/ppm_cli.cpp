@@ -8,6 +8,8 @@
 //   ppm_cli sim      --code <family> [params]      failure-stream simulation
 //   ppm_cli verify   --code <family> [params]      static plan verification
 //                    [--scenario 1,5,9] [--sweep <disks>]
+//   ppm_cli analyze  --code <family> [params]      concurrency-hazard proof +
+//                    [--scenario 1,5,9] [--sweep <disks>]   critical-path bounds
 //
 // Families and their parameters (defaults in parentheses):
 //   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
@@ -24,6 +26,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <string>
 
 #include "ppm.h"
@@ -344,36 +347,12 @@ std::vector<planverify::Violation> verify_one(Codec& codec,
   return std::move(verdict.violations);
 }
 
-// Offline plan-space vetting for operators: verify the plan of one
-// scenario (--scenario or the family default), or of every combination of
-// up to --sweep whole-disk failures. Pass/fail report on stderr; the
-// Violation list as JSON on stdout when verification fails.
-int cmd_verify(const ErasureCode& code, const Args& args) {
-  Codec codec(code);
-  std::size_t checked = 0;
-  std::size_t undecodable_count = 0;
-  std::size_t schedules = 0;
-  std::vector<planverify::Violation> violations;
-
-  const auto run_one = [&](const FailureScenario& sc) {
-    bool undecodable = false;
-    auto v = verify_one(codec, code, sc, &undecodable, &schedules);
-    ++checked;
-    if (undecodable) {
-      ++undecodable_count;
-      return;
-    }
-    if (!v.empty()) {
-      std::string ids;
-      for (const std::size_t b : sc.faulty()) {
-        ids += (ids.empty() ? "" : ",") + std::to_string(b);
-      }
-      std::fprintf(stderr, "FAIL: scenario [%s]: %zu violation(s)\n",
-                   ids.c_str(), v.size());
-      violations.insert(violations.end(), v.begin(), v.end());
-    }
-  };
-
+// Drive `run_one` over the scenario selection shared by `verify` and
+// `analyze`: an explicit --scenario, every combination of up to --sweep
+// whole-disk failures, or the family worst case.
+template <typename Fn>
+void for_each_selected_scenario(const ErasureCode& code, const Args& args,
+                                const Fn& run_one) {
   if (args.flags.contains("sweep")) {
     // Every combination of 1..sweep failed disks (each disk failure
     // erases that disk's blocks in every row of the stripe).
@@ -405,6 +384,41 @@ int cmd_verify(const ErasureCode& code, const Args& args) {
     ScenarioGenerator gen(args.get("seed", 1));
     run_one(make_scenario(code, args, gen));
   }
+}
+
+std::string scenario_ids(const FailureScenario& sc) {
+  std::string ids;
+  for (const std::size_t b : sc.faulty()) {
+    ids += (ids.empty() ? "" : ",") + std::to_string(b);
+  }
+  return ids;
+}
+
+// Offline plan-space vetting for operators: verify the plan of one
+// scenario (--scenario or the family default), or of every combination of
+// up to --sweep whole-disk failures. Pass/fail report on stderr; the
+// Violation list as JSON on stdout when verification fails.
+int cmd_verify(const ErasureCode& code, const Args& args) {
+  Codec codec(code);
+  std::size_t checked = 0;
+  std::size_t undecodable_count = 0;
+  std::size_t schedules = 0;
+  std::vector<planverify::Violation> violations;
+
+  for_each_selected_scenario(code, args, [&](const FailureScenario& sc) {
+    bool undecodable = false;
+    auto v = verify_one(codec, code, sc, &undecodable, &schedules);
+    ++checked;
+    if (undecodable) {
+      ++undecodable_count;
+      return;
+    }
+    if (!v.empty()) {
+      std::fprintf(stderr, "FAIL: scenario [%s]: %zu violation(s)\n",
+                   scenario_ids(sc).c_str(), v.size());
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  });
 
   std::fprintf(stderr,
                "%s: %zu scenario(s) verified (%zu undecodable skipped), "
@@ -422,6 +436,136 @@ int cmd_verify(const ErasureCode& code, const Args& args) {
     return 2;
   }
   std::fprintf(stderr, "PASS\n");
+  return 0;
+}
+
+// Static concurrency-hazard analysis: prove every parallel region the
+// decoders would run for a scenario race-free under all interleavings and
+// report the plan's parallelism profile (critical path, per-level width,
+// max-speedup bound). Covers the PPM group fan-out (analyze_plan), every
+// binary sub-system's XOR schedule as a parallel program over target
+// units (analyze_schedule), and the region-split slice geometry the
+// BlockParallelDecoder would use for --block/--threads (analyze_slices).
+// Profile JSON on stdout; violations JSON on stdout with exit 1.
+int cmd_analyze(const ErasureCode& code, const Args& args) {
+  Codec codec(code);
+  const std::size_t block = args.get("block", 65536);
+  const unsigned threads = static_cast<unsigned>(args.get("threads", 4));
+  const unsigned sym = code.field().symbol_bytes();
+  const Matrix& h = code.parity_check();
+
+  std::size_t checked = 0;
+  std::size_t undecodable_count = 0;
+  std::size_t schedules = 0;
+  std::size_t slice_sets = 0;
+  std::size_t work_sum = 0;
+  std::size_t critical_sum = 0;
+  std::size_t max_width = 0;
+  double best_speedup = 1.0;
+  std::string profile_json;  // per-scenario profile (last scenario wins)
+  std::vector<planverify::Violation> violations;
+
+  for_each_selected_scenario(code, args, [&](const FailureScenario& sc) {
+    ++checked;
+    const auto plan = codec.plan_for(sc);
+    if (plan == nullptr) {
+      ++undecodable_count;
+      return;
+    }
+    const auto take = [&](const hazard::Analysis& a, const char* what) {
+      if (!a.ok()) {
+        std::fprintf(stderr, "FAIL: scenario [%s] %s: %zu violation(s)\n",
+                     scenario_ids(sc).c_str(), what, a.violations.size());
+        violations.insert(violations.end(), a.violations.begin(),
+                          a.violations.end());
+      }
+    };
+
+    // 1. The PPM group fan-out of the cached plan.
+    const auto analysis = hazard::analyze_plan(*plan);
+    take(analysis, "plan");
+    work_sum += analysis.total_work;
+    critical_sum += analysis.critical_path;
+    max_width = std::max(max_width, analysis.max_width);
+    best_speedup = std::max(best_speedup, analysis.speedup_bound());
+
+    // 2. Every binary sub-system's XOR schedule, as a parallel program.
+    const auto check_schedule = [&](const SubPlan& sub) {
+      const Matrix& applied =
+          sub.sequence() == Sequence::kMatrixFirst ? sub.finv() : sub.s();
+      const auto sched = plan_xor_schedule(applied);
+      if (!sched.has_value()) return;  // non-binary system: no XOR schedule
+      ++schedules;
+      take(hazard::analyze_schedule(*sched, applied), "xor schedule");
+    };
+    for (const SubPlan& sub : plan->groups()) check_schedule(sub);
+    if (plan->rest().has_value()) check_schedule(*plan->rest());
+
+    // 3. The slice geometry BlockParallelDecoder would fan out.
+    std::vector<std::size_t> all_rows(h.rows());
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+    const auto whole = SubPlan::make(h, all_rows, sc.faulty(), sc.faulty(),
+                                     Sequence::kMatrixFirst);
+    if (whole.has_value()) {
+      ++slice_sets;
+      const auto ranges = plan_slices(block, sym, threads);
+      take(hazard::analyze_slices(*whole, ranges, block, sym), "slices");
+    }
+
+    std::string widths;
+    for (const std::size_t w : analysis.level_width) {
+      widths += (widths.empty() ? "" : ",") + std::to_string(w);
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"scenario\":[%s],\"units\":%zu,"
+                  "\"work_mult_xors\":%zu,\"critical_path_mult_xors\":%zu,"
+                  "\"level_width\":[%s],\"max_width\":%zu,"
+                  "\"max_speedup_bound\":%.4f}",
+                  scenario_ids(sc).c_str(),
+                  analysis.level_width.empty()
+                      ? std::size_t{0}
+                      : std::accumulate(analysis.level_width.begin(),
+                                        analysis.level_width.end(),
+                                        std::size_t{0}),
+                  analysis.total_work, analysis.critical_path, widths.c_str(),
+                  analysis.max_width, analysis.speedup_bound());
+    profile_json = buf;
+    if (!args.flags.contains("sweep")) {
+      std::fprintf(stderr,
+                   "scenario [%s]: work=%zu critical_path=%zu "
+                   "width=%zu speedup<=%.2f\n",
+                   scenario_ids(sc).c_str(), analysis.total_work,
+                   analysis.critical_path, analysis.max_width,
+                   analysis.speedup_bound());
+    }
+  });
+
+  std::fprintf(stderr,
+               "%s: %zu scenario(s) analyzed (%zu undecodable skipped), "
+               "%zu XOR schedule(s), %zu slice fan-out(s)\n",
+               code.name().c_str(), checked - undecodable_count,
+               undecodable_count, schedules, slice_sets);
+  if (!violations.empty()) {
+    std::printf("%s\n", planverify::to_json(violations).c_str());
+    std::fprintf(stderr, "FAIL: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  if (checked == undecodable_count && checked > 0 &&
+      !args.flags.contains("sweep")) {
+    std::fprintf(stderr, "FAIL: scenario undecodable\n");
+    return 2;
+  }
+  if (args.flags.contains("sweep")) {
+    std::printf("{\"scenarios\":%zu,\"undecodable\":%zu,\"schedules\":%zu,"
+                "\"work_mult_xors\":%zu,\"critical_path_mult_xors\":%zu,"
+                "\"max_width\":%zu,\"best_speedup_bound\":%.4f}\n",
+                checked, undecodable_count, schedules, work_sum, critical_sum,
+                max_width, best_speedup);
+  } else if (!profile_json.empty()) {
+    std::printf("%s\n", profile_json.c_str());
+  }
+  std::fprintf(stderr, "PASS: hazard-free\n");
   return 0;
 }
 
@@ -462,7 +606,8 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.command.empty()) {
     std::fprintf(stderr,
-                 "usage: %s {info|costs|bench|batch|selftest|sim|verify} "
+                 "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
+                 "analyze} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
                  "[params]\n",
                  argv[0]);
@@ -477,6 +622,7 @@ int main(int argc, char** argv) {
     if (args.command == "sim") return cmd_sim(*code, args);
     if (args.command == "selftest") return cmd_selftest(*code, args);
     if (args.command == "verify") return cmd_verify(*code, args);
+    if (args.command == "analyze") return cmd_analyze(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {

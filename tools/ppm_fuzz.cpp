@@ -8,7 +8,10 @@
 //   * the realized PPM op count equals the cost model's min(C3, C4);
 //   * the stripe passes syndrome verification afterwards;
 //   * the cached Codec plan for the scenario is planverify-clean, and a
-//     random binary matrix's XOR schedule survives symbolic replay.
+//     random binary matrix's XOR schedule survives symbolic replay;
+//   * the plan's parallel fan-out and the schedule's target units are
+//     hazard-free (ppm::hazard) with a sane parallelism profile
+//     (critical path <= total work, speedup bound >= 1).
 //
 //   ./ppm_fuzz [seconds] [seed]     (defaults: 10 seconds, seed 1 —
 //                                    deterministic for reproducibility)
@@ -111,6 +114,15 @@ int main(int argc, char** argv) {
                      planverify::to_json(verdict.violations).c_str());
         return 1;
       }
+      // The planner's schedule must also be race-free as a parallel
+      // program over target units, not just serially correct.
+      const auto hz = hazard::analyze_schedule(*sched, g);
+      if (!hz.ok() || hz.critical_path > hz.total_work ||
+          hz.speedup_bound() < 1.0) {
+        std::fprintf(stderr, "FUZZ FAIL (schedule hazard):\n%s\n",
+                     planverify::to_json(hz.violations).c_str());
+        return 1;
+      }
       ++verified_schedules;
     }
     const auto code = random_code(rng);
@@ -185,6 +197,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "FUZZ FAIL (plan verifier): %s\n%s\n",
                      code->name().c_str(),
                      planverify::to_json(verdict.violations).c_str());
+        return 1;
+      }
+      // And its group fan-out must be provably race-free under every
+      // interleaving, with a coherent parallelism profile.
+      const auto hz = hazard::analyze_plan(*plan);
+      if (!hz.ok() || hz.critical_path > hz.total_work ||
+          (hz.critical_path == 0) != (hz.total_work == 0) ||
+          hz.speedup_bound() < 1.0) {
+        std::fprintf(stderr, "FUZZ FAIL (plan hazard): %s\n%s\n",
+                     code->name().c_str(),
+                     planverify::to_json(hz.violations).c_str());
         return 1;
       }
       ++verified_plans;
