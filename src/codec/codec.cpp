@@ -9,6 +9,7 @@
 #include "decode/log_table.h"
 #include "decode/partition.h"
 #include "parallel/task_group.h"
+#include "plan_store/plan_store.h"
 #include "verify_plan/plan_verify.h"
 
 namespace ppm {
@@ -37,6 +38,7 @@ void CachedPlan::execute(std::uint8_t* const* blocks, std::size_t block_bytes,
 Codec::Codec(const ErasureCode& code, Options options)
     : code_(&code),
       options_(options),
+      signature_digest_(code.code_signature().digest),
       cache_(options.cache_capacity == 0 ? 1 : options.cache_capacity,
              options.cache_shards, &metrics_.plan_hits, &metrics_.plan_misses,
              &metrics_.plan_evictions) {
@@ -44,7 +46,74 @@ Codec::Codec(const ErasureCode& code, Options options)
   if (options_.cache_capacity == 0) options_.cache_capacity = 1;
 }
 
-std::shared_ptr<const CachedPlan> Codec::build_plan(
+std::vector<std::size_t> Codec::plan_key(
+    const FailureScenario& scenario) const {
+  std::vector<std::size_t> key;
+  key.reserve(scenario.count() + 1);
+  key.push_back(static_cast<std::size_t>(signature_digest_));
+  key.insert(key.end(), scenario.faulty().begin(), scenario.faulty().end());
+  return key;
+}
+
+void Codec::attach_store(const std::string& directory) {
+  attach_store(std::make_shared<planstore::PlanStore>(directory));
+}
+
+void Codec::attach_store(std::shared_ptr<planstore::PlanStore> store) {
+  const std::scoped_lock lock(store_mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<planstore::PlanStore> Codec::store() const {
+  return store_ref();
+}
+
+std::shared_ptr<planstore::PlanStore> Codec::store_ref() const {
+  const std::scoped_lock lock(store_mutex_);
+  return store_;
+}
+
+std::size_t Codec::warm() {
+  const auto store = store_ref();
+  if (store == nullptr) return 0;
+  auto bulk = store->load_all(*code_);
+  metrics_.planstore_load_failures.add(bulk.rejected);
+  metrics_.planstore_quarantined.add(bulk.rejected);
+  std::size_t warmed = 0;
+  for (auto& [scenario, plan] : bulk.plans) {
+    metrics_.planstore_loads.add();
+    cache_.insert(plan_key(scenario), std::move(plan));
+    metrics_.planstore_warm_hits.add();
+    ++warmed;
+  }
+  return warmed;
+}
+
+std::size_t Codec::warm(std::span<const FailureScenario> scenarios) {
+  const auto store = store_ref();
+  if (store == nullptr) return 0;
+  std::size_t warmed = 0;
+  for (const FailureScenario& scenario : scenarios) {
+    std::shared_ptr<const CachedPlan> plan;
+    switch (store->load(*code_, scenario, &plan)) {
+      case planstore::PlanStore::LoadResult::kLoaded:
+        metrics_.planstore_loads.add();
+        cache_.insert(plan_key(scenario), std::move(plan));
+        metrics_.planstore_warm_hits.add();
+        ++warmed;
+        break;
+      case planstore::PlanStore::LoadResult::kRejected:
+        metrics_.planstore_load_failures.add();
+        metrics_.planstore_quarantined.add();
+        break;
+      case planstore::PlanStore::LoadResult::kMissing:
+        break;
+    }
+  }
+  return warmed;
+}
+
+std::shared_ptr<CachedPlan> Codec::build_plan(
     const FailureScenario& scenario) const {
   const Matrix& h = code_->parity_check();
   const LogTable table = LogTable::build(h, scenario.faulty());
@@ -72,21 +141,65 @@ std::shared_ptr<const CachedPlan> Codec::build_plan(
     if (!rest.has_value()) return nullptr;
     plan->rest_plan_ = std::move(*rest);
   }
+  // Every plan carries its hazard/cost profile from birth: consumers
+  // (`ppm_cli analyze`, the plan store, schedulers) read profile()
+  // instead of re-running the analysis, and the store cross-checks the
+  // persisted copy against a fresh analysis on every load.
+  const auto analysis = hazard::analyze_plan(*plan);
+  plan->profile_.cost = plan->cost();
+  plan->profile_.work = analysis.total_work;
+  plan->profile_.critical_path = analysis.critical_path;
+  plan->profile_.max_width = analysis.max_width;
+  plan->profile_.level_width = analysis.level_width;
+  plan->profile_.hazard_free = analysis.ok();
   return plan;
 }
 
 std::shared_ptr<const CachedPlan> Codec::plan_for(
     const FailureScenario& scenario) {
-  const std::vector<std::size_t> key(scenario.faulty().begin(),
-                                     scenario.faulty().end());
+  const std::vector<std::size_t> key = plan_key(scenario);
   if (auto cached = cache_.get(key)) return *cached;
-  // Miss: build outside any lock. Concurrent missers may build the same
-  // plan; insert() keeps the first and everyone shares it.
+
+  // Miss: with a store attached, try a zero-trust load from disk before
+  // paying the rebuild — the store re-proves the record with planverify +
+  // hazard analysis and quarantines anything that fails, so a loaded plan
+  // is exactly as trustworthy as a built one.
+  const auto store = store_ref();
+  if (store != nullptr) {
+    std::shared_ptr<const CachedPlan> loaded;
+    switch (store->load(*code_, scenario, &loaded)) {
+      case planstore::PlanStore::LoadResult::kLoaded:
+        metrics_.planstore_loads.add();
+        return cache_.insert(key, std::move(loaded));
+      case planstore::PlanStore::LoadResult::kRejected:
+        metrics_.planstore_load_failures.add();
+        metrics_.planstore_quarantined.add();
+        break;  // fall through to rebuild; the bad record is gone
+      case planstore::PlanStore::LoadResult::kMissing:
+        break;
+    }
+  }
+
+  // Build outside any lock. Concurrent missers may build the same plan;
+  // insert() keeps the first and everyone shares it.
   const Timer build;
   auto plan = build_plan(scenario);
   if (plan == nullptr) {
     metrics_.plan_failures.add();
     return nullptr;
+  }
+  metrics_.plans_analyzed.add();
+  metrics_.analyzed_work.add(plan->profile().work);
+  metrics_.analyzed_critical_path.add(plan->profile().critical_path);
+  if (!plan->profile().hazard_free) {
+    metrics_.hazard_failures.add();
+#ifdef PPM_VERIFY_PLANS
+    // A hazardous fan-out is a library bug; running it could corrupt
+    // every stripe it decodes, so fail loudly instead of returning it.
+    throw std::logic_error(
+        "PPM_VERIFY_PLANS: concurrency hazard: " +
+        planverify::to_json(hazard::analyze_plan(*plan).violations));
+#endif
   }
 #ifdef PPM_VERIFY_PLANS
   // Statically prove the plan sound before it can touch a byte (Debug /
@@ -102,22 +215,14 @@ std::shared_ptr<const CachedPlan> Codec::plan_for(
     }
     metrics_.plans_verified.add();
   }
-  // And prove its parallel fan-out race-free for every interleaving —
-  // serial soundness (above) says the bytes are right one sub-plan at a
-  // time; this says the TaskGroup fan-out can't corrupt them either.
-  {
-    const auto analysis = hazard::analyze_plan(*plan);
-    if (!analysis.ok()) {
-      metrics_.hazard_failures.add();
-      throw std::logic_error("PPM_VERIFY_PLANS: concurrency hazard: " +
-                             planverify::to_json(analysis.violations));
-    }
-    metrics_.plans_analyzed.add();
-    metrics_.analyzed_work.add(analysis.total_work);
-    metrics_.analyzed_critical_path.add(analysis.critical_path);
-  }
 #endif
   metrics_.plan_seconds.record_seconds(build.seconds());
+  // Write-through: persist the verified plan so the next process (or a
+  // sibling node) can warm from disk. Hazardous plans are never persisted
+  // — the load path would only quarantine them again.
+  if (store != nullptr && plan->profile().hazard_free) {
+    if (store->put(*code_, scenario, *plan)) metrics_.planstore_stores.add();
+  }
   return cache_.insert(key, std::move(plan));
 }
 

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "codes/erasure_code.h"
@@ -36,6 +37,34 @@
 
 namespace ppm {
 
+namespace planstore {
+class PlanStore;
+}  // namespace planstore
+
+/// Cost/concurrency profile of a cached plan — the numbers the hazard
+/// analyzer (analyze_hazard/) derives from the plan's dependency DAG.
+/// Computed exactly once, when the plan is built (or re-verified on load
+/// from the persistent store), and carried with the plan so downstream
+/// consumers (`ppm_cli analyze`, schedulers, the store) never recompute
+/// the analysis for a plan that already holds it.
+struct PlanProfile {
+  std::size_t cost = 0;           ///< exact mult_XORs of one execution
+  std::size_t work = 0;           ///< Σ unit work over the hazard DAG
+  std::size_t critical_path = 0;  ///< heaviest dependency chain (mult_XORs)
+  std::size_t max_width = 0;      ///< peak concurrently-runnable units
+  std::vector<std::size_t> level_width;  ///< units per DAG level
+  bool hazard_free = false;       ///< no violation in the parallel fan-out
+
+  /// Brent's-theorem speedup ceiling: work / critical path.
+  double speedup_bound() const {
+    return critical_path == 0 ? 1.0
+                              : static_cast<double>(work) /
+                                    static_cast<double>(critical_path);
+  }
+
+  bool operator==(const PlanProfile&) const = default;
+};
+
 /// A fully planned PPM decode, reusable across stripes with the same
 /// failure scenario. Thread-safe to execute concurrently on distinct
 /// stripes.
@@ -43,6 +72,11 @@ class CachedPlan {
  public:
   std::size_t p() const { return group_plans_.size(); }
   std::size_t cost() const;
+
+  /// The hazard/cost profile computed when this plan was built or
+  /// re-verified on load. Plans assembled via assemble() carry a default
+  /// (all-zero, !hazard_free) profile — nothing is analyzed there.
+  const PlanProfile& profile() const { return profile_; }
 
   /// Execute on one stripe: groups (serially, in the calling thread) then
   /// the rest plan. Batch-level parallelism comes from the codec running
@@ -65,8 +99,10 @@ class CachedPlan {
 
  private:
   friend class Codec;
+  friend class planstore::PlanStore;  // sets profile_ after re-verification
   std::vector<SubPlan> group_plans_;
   std::optional<SubPlan> rest_plan_;
+  PlanProfile profile_;
 };
 
 struct BatchResult {
@@ -118,6 +154,27 @@ class Codec {
   std::size_t cache_capacity() const { return cache_.capacity(); }
   std::size_t cache_shards() const { return cache_.shard_count(); }
 
+  /// Attach a persistent plan store (plan_store/): plan_for writes every
+  /// freshly built plan through to disk and, on a cache miss, tries a
+  /// zero-trust load from disk before rebuilding. Creates `directory` if
+  /// needed. Attaching while traffic is in flight is safe (the pointer is
+  /// swapped under a mutex); in-flight misses may still rebuild.
+  void attach_store(const std::string& directory);
+  void attach_store(std::shared_ptr<planstore::PlanStore> store);
+
+  /// The attached store, or nullptr.
+  std::shared_ptr<planstore::PlanStore> store() const;
+
+  /// Bulk-preload the plan cache from the attached store: every record of
+  /// this code (or just `scenarios`) is loaded through the zero-trust
+  /// path — parse, planverify, hazard re-analysis — and inserted into the
+  /// sharded cache. Returns the number of plans that entered the cache
+  /// from disk (also counted in planstore.warm_hits). Records that fail
+  /// re-verification are quarantined, counted, and skipped — warm() never
+  /// builds; pair it with plan_for for rebuild-on-demand.
+  std::size_t warm();
+  std::size_t warm(std::span<const FailureScenario> scenarios);
+
   // Lock-free stats reads (relaxed atomics — safe concurrent with
   // decode traffic; see docs/CONCURRENCY.md).
   std::size_t cache_hits() const { return metrics_.plan_hits.value(); }
@@ -134,16 +191,26 @@ class Codec {
   std::string metrics_json() const { return metrics_.to_json(); }
 
  private:
-  std::shared_ptr<const CachedPlan> build_plan(
-      const FailureScenario& scenario) const;
+  std::shared_ptr<CachedPlan> build_plan(const FailureScenario& scenario) const;
   ThreadPool& batch_pool();
+
+  /// The one key-derivation function shared by the in-memory cache and —
+  /// via CodeSignature — the plan store: signature digest, then the
+  /// sorted faulty set.
+  std::vector<std::size_t> plan_key(const FailureScenario& scenario) const;
+
+  /// Point-in-time copy of the attached store pointer.
+  std::shared_ptr<planstore::PlanStore> store_ref() const;
 
   const ErasureCode* code_;
   Options options_;
+  std::uint64_t signature_digest_;
   CodecMetrics metrics_;
   ShardedLruCache<std::shared_ptr<const CachedPlan>> cache_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex store_mutex_;
+  std::shared_ptr<planstore::PlanStore> store_;
 };
 
 }  // namespace ppm

@@ -18,6 +18,37 @@ bool ErasureCode::is_parity(std::size_t b) const {
   return std::binary_search(parity_.begin(), parity_.end(), b);
 }
 
+namespace {
+
+void fnv_word(std::uint64_t& h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= word & 0xFFu;
+    h *= 1099511628211ull;
+    word >>= 8;
+  }
+}
+
+}  // namespace
+
+const CodeSignature& ErasureCode::code_signature() const {
+  std::call_once(signature_once_, [this] {
+    CodeSignature sig;
+    sig.text = name_;
+    sig.text += "/d" + std::to_string(disks_) + "x" + std::to_string(rows_);
+    sig.text += "/h" + std::to_string(h_.rows()) + "x" +
+                std::to_string(h_.cols());
+    sig.text += "/w" + std::to_string(field_->w());
+
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    for (const char c : sig.text) fnv_word(h, static_cast<unsigned char>(c));
+    for (const std::size_t p : parity_) fnv_word(h, p);
+    for (const gf::Element e : h_.data()) fnv_word(h, e);
+    sig.digest = h;
+    signature_ = std::move(sig);
+  });
+  return signature_;
+}
+
 std::vector<std::size_t> ErasureCode::data_blocks() const {
   std::vector<std::size_t> out;
   out.reserve(data_block_count());

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,6 +18,20 @@
 #include "matrix/matrix.h"
 
 namespace ppm {
+
+/// Canonical identity of one code instance. Everything that keys cached
+/// or persisted decode plans derives from this — the codec's in-memory
+/// plan-cache key and the plan store's record names both use `digest`, so
+/// the two can never disagree about which code a plan belongs to. The
+/// digest covers the family name, the stripe geometry, the field width,
+/// the parity layout and every coefficient of H: two instances share a
+/// digest iff their plans are interchangeable.
+struct CodeSignature {
+  std::string text;      ///< canonical human-readable form
+  std::uint64_t digest;  ///< FNV-1a over text, parity ids and H entries
+
+  bool operator==(const CodeSignature&) const = default;
+};
 
 class ErasureCode {
  public:
@@ -62,6 +78,13 @@ class ErasureCode {
 
   const std::string& name() const { return name_; }
 
+  /// The canonical signature of this instance (see CodeSignature).
+  /// Deterministic across processes and platforms — safe to persist.
+  /// Digesting H is O(check_rows · total_blocks), so the result is
+  /// computed once and cached (H is immutable after construction); the
+  /// plan store hits this on every record load and store.
+  const CodeSignature& code_signature() const;
+
  protected:
   ErasureCode(const gf::Field& f, std::size_t disks, std::size_t rows,
               std::size_t check_rows, std::string name);
@@ -75,6 +98,8 @@ class ErasureCode {
   std::size_t disks_;
   std::size_t rows_;
   std::string name_;
+  mutable std::once_flag signature_once_;
+  mutable CodeSignature signature_;
 };
 
 }  // namespace ppm

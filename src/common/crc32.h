@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Integrity check for the persistent plan store's on-disk records
+// (plan_store/): cheap enough to run on every load, strong enough to
+// catch the torn writes and bit rot the zero-trust load path quarantines
+// before re-verification even starts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppm {
+
+/// CRC-32 of `bytes` bytes at `data`. Pass a previous result as `seed` to
+/// chain incremental computation over discontiguous buffers; the empty
+/// input maps to 0.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+}  // namespace ppm

@@ -99,6 +99,11 @@ void CodecMetrics::reset() {
   hazard_failures.reset();
   analyzed_work.reset();
   analyzed_critical_path.reset();
+  planstore_loads.reset();
+  planstore_load_failures.reset();
+  planstore_stores.reset();
+  planstore_quarantined.reset();
+  planstore_warm_hits.reset();
   decodes.reset();
   batches.reset();
   stripes_decoded.reset();
@@ -125,6 +130,12 @@ std::string CodecMetrics::to_json() const {
   append_kv(out, "work_mult_xors", analyzed_work.value());
   append_kv(out, "critical_path_mult_xors", analyzed_critical_path.value(),
             false);
+  out += "},\"planstore\":{";
+  append_kv(out, "loads", planstore_loads.value());
+  append_kv(out, "load_failures", planstore_load_failures.value());
+  append_kv(out, "stores", planstore_stores.value());
+  append_kv(out, "quarantined", planstore_quarantined.value());
+  append_kv(out, "warm_hits", planstore_warm_hits.value(), false);
   out += "},\"decode\":{";
   append_kv(out, "decodes", decodes.value());
   append_kv(out, "batches", batches.value());

@@ -128,14 +128,27 @@ struct CodecMetrics {
   Counter plans_verified;        ///< plans proven sound before caching
   Counter plan_verify_failures;  ///< plans rejected by the verifier
 
-  // Concurrency-hazard analysis (analyze_hazard/; populated alongside
-  // plan verification). The two accumulators divide into the fleet-level
-  // parallelism picture: analyzed_work / analyzed_critical_path is the
-  // average max-speedup bound over every plan built.
-  Counter plans_analyzed;         ///< plans proven race-free before caching
+  // Concurrency-hazard analysis (analyze_hazard/). Every built plan is
+  // analyzed so it carries its PlanProfile; in PPM_VERIFY_PLANS builds a
+  // hazardous plan additionally throws. The two accumulators divide into
+  // the fleet-level parallelism picture: analyzed_work /
+  // analyzed_critical_path is the average max-speedup bound over every
+  // plan built.
+  Counter plans_analyzed;         ///< plans profiled (and proven race-free)
   Counter hazard_failures;        ///< plans with a concurrency hazard
   Counter analyzed_work;          ///< Σ total mult_XOR work of analyzed plans
   Counter analyzed_critical_path; ///< Σ critical-path mult_XORs of same
+
+  // Persistent plan store (plan_store/; populated once a store is
+  // attached to the codec). Every load — read-through or warm — passed
+  // the zero-trust gate (parse + planverify + hazard re-analysis);
+  // load_failures counts records that did not, and quarantined counts the
+  // files renamed aside as a result.
+  Counter planstore_loads;          ///< plans served from disk, re-verified
+  Counter planstore_load_failures;  ///< records failing parse or re-proof
+  Counter planstore_stores;         ///< plans written through to disk
+  Counter planstore_quarantined;    ///< records renamed aside as untrusted
+  Counter planstore_warm_hits;      ///< warm() preloads entering the cache
 
   // Decode volume.
   Counter decodes;          ///< single-stripe decode() calls

@@ -1,0 +1,545 @@
+#include "plan_store/plan_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "analyze_hazard/hazard.h"
+#include "common/crc32.h"
+#include "verify_plan/plan_verify.h"
+
+namespace ppm::planstore {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'M', 'P', 'L', 'A', 'N', '\0'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_index_vec(std::vector<std::uint8_t>& out,
+                   std::span<const std::size_t> v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::size_t x : v) put_u64(out, x);
+}
+
+void put_matrix(std::vector<std::uint8_t>& out, const Matrix& m) {
+  put_u32(out, static_cast<std::uint32_t>(m.rows()));
+  put_u32(out, static_cast<std::uint32_t>(m.cols()));
+  for (const gf::Element e : m.data()) put_u32(out, e);
+}
+
+void put_subplan(std::vector<std::uint8_t>& out, const SubPlan& sub) {
+  put_u8(out, sub.sequence() == Sequence::kMatrixFirst ? 1 : 0);
+  put_index_vec(out, sub.unknowns());
+  put_index_vec(out, sub.survivors());
+  put_index_vec(out, sub.check_rows());
+  put_matrix(out, sub.finv());
+  put_matrix(out, sub.s());
+  put_u64(out, sub.cost());
+  put_u64(out, sub.source_blocks());
+}
+
+// Bounds-checked little-endian reader over an untrusted byte span. Every
+// accessor fails closed: once `ok` drops, all further reads return zero
+// values and the parse is abandoned.
+struct Reader {
+  std::span<const std::uint8_t> in;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::size_t remaining() const { return ok ? in.size() - pos : 0; }
+
+  std::uint8_t u8() {
+    if (remaining() < 1) {
+      ok = false;
+      return 0;
+    }
+    return in[pos++];
+  }
+
+  std::uint32_t u32() {
+    if (remaining() < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{in[pos++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (remaining() < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[pos++]} << (8 * i);
+    return v;
+  }
+
+  std::vector<std::size_t> index_vec() {
+    const std::uint32_t count = u32();
+    // A corrupt length field must not drive allocation: the elements have
+    // to fit in the remaining bytes.
+    if (!ok || count > remaining() / 8) {
+      ok = false;
+      return {};
+    }
+    std::vector<std::size_t> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      v[i] = static_cast<std::size_t>(u64());
+    }
+    return v;
+  }
+
+  std::optional<Matrix> matrix(const gf::Field& f) {
+    const std::uint32_t rows = u32();
+    const std::uint32_t cols = u32();
+    if (!ok || (rows != 0 && cols > remaining() / 4 / rows)) {
+      ok = false;
+      return std::nullopt;
+    }
+    Matrix m(f, rows, cols);
+    const gf::Element max = f.max_element();
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        const gf::Element e = u32();
+        if (e > max) {  // out-of-field coefficient: table lookups would UB
+          ok = false;
+          return std::nullopt;
+        }
+        m(r, c) = e;
+      }
+    }
+    if (!ok) return std::nullopt;
+    return m;
+  }
+};
+
+std::optional<SubPlan> read_subplan(Reader& r, const gf::Field& f) {
+  const std::uint8_t seq_raw = r.u8();
+  if (!r.ok || seq_raw > 1) return std::nullopt;
+  const Sequence seq =
+      seq_raw == 1 ? Sequence::kMatrixFirst : Sequence::kNormal;
+  std::vector<std::size_t> unknowns = r.index_vec();
+  std::vector<std::size_t> survivors = r.index_vec();
+  std::vector<std::size_t> check_rows = r.index_vec();
+  auto finv = r.matrix(f);
+  auto s = r.matrix(f);
+  const std::size_t cost = static_cast<std::size_t>(r.u64());
+  const std::size_t source_blocks = static_cast<std::size_t>(r.u64());
+  if (!r.ok || !finv.has_value() || !s.has_value()) return std::nullopt;
+  return SubPlan::from_parts(f, seq, std::move(unknowns), std::move(survivors),
+                             std::move(check_rows), std::move(*finv),
+                             std::move(*s), cost, source_blocks);
+}
+
+bool fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+PlanProfile fresh_profile(const CachedPlan& plan,
+                          const hazard::Analysis& analysis) {
+  PlanProfile p;
+  p.cost = plan.cost();
+  p.work = analysis.total_work;
+  p.critical_path = analysis.critical_path;
+  p.max_width = analysis.max_width;
+  p.level_width = analysis.level_width;
+  p.hazard_free = analysis.ok();
+  return p;
+}
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_plan(const ErasureCode& code,
+                                         const FailureScenario& scenario,
+                                         const CachedPlan& plan) {
+  const CodeSignature sig = code.code_signature();
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1024);
+  put_u64(payload, sig.digest);
+  put_u32(payload, static_cast<std::uint32_t>(sig.text.size()));
+  payload.insert(payload.end(), sig.text.begin(), sig.text.end());
+  put_u32(payload, code.field().w());
+  put_index_vec(payload, scenario.faulty());
+
+  const PlanProfile& prof = plan.profile();
+  put_u64(payload, prof.cost);
+  put_u64(payload, prof.work);
+  put_u64(payload, prof.critical_path);
+  put_u64(payload, prof.max_width);
+  put_u8(payload, prof.hazard_free ? 1 : 0);
+  put_index_vec(payload, prof.level_width);
+
+  put_u32(payload, static_cast<std::uint32_t>(plan.groups().size()));
+  for (const SubPlan& sub : plan.groups()) put_subplan(payload, sub);
+  put_u8(payload, plan.rest().has_value() ? 1 : 0);
+  if (plan.rest().has_value()) put_subplan(payload, *plan.rest());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, kFormatVersion);
+  put_u32(out, crc32(payload.data(), payload.size()));
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<StoredPlan> deserialize_plan(std::span<const std::uint8_t> bytes,
+                                           const ErasureCode& code,
+                                           std::string* error) {
+  if (bytes.size() < kHeaderBytes) {
+    fail(error, "truncated header");
+    return std::nullopt;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    fail(error, "bad magic");
+    return std::nullopt;
+  }
+  Reader hdr{bytes.subspan(sizeof kMagic), 0, true};
+  const std::uint32_t version = hdr.u32();
+  const std::uint32_t crc = hdr.u32();
+  const std::uint64_t payload_len = hdr.u64();
+  if (version != kFormatVersion) {
+    fail(error, "format version mismatch");
+    return std::nullopt;
+  }
+  if (payload_len != bytes.size() - kHeaderBytes) {
+    fail(error, "payload length mismatch");
+    return std::nullopt;
+  }
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderBytes);
+  if (crc32(payload.data(), payload.size()) != crc) {
+    fail(error, "CRC mismatch");
+    return std::nullopt;
+  }
+
+  Reader r{payload, 0, true};
+  const std::uint64_t digest = r.u64();
+  const std::uint32_t text_len = r.u32();
+  if (!r.ok || text_len > r.remaining()) {
+    fail(error, "truncated signature");
+    return std::nullopt;
+  }
+  r.pos += text_len;  // text is informational; the digest is the identity
+  const std::uint32_t w = r.u32();
+  const CodeSignature sig = code.code_signature();
+  if (!r.ok || digest != sig.digest || w != code.field().w()) {
+    fail(error, "stale code signature");
+    return std::nullopt;
+  }
+
+  const std::vector<std::size_t> faulty = r.index_vec();
+  if (!r.ok || faulty.empty() ||
+      !std::is_sorted(faulty.begin(), faulty.end()) ||
+      std::adjacent_find(faulty.begin(), faulty.end()) != faulty.end() ||
+      faulty.back() >= code.total_blocks()) {
+    fail(error, "bad faulty set");
+    return std::nullopt;
+  }
+
+  PlanProfile prof;
+  prof.cost = static_cast<std::size_t>(r.u64());
+  prof.work = static_cast<std::size_t>(r.u64());
+  prof.critical_path = static_cast<std::size_t>(r.u64());
+  prof.max_width = static_cast<std::size_t>(r.u64());
+  prof.hazard_free = r.u8() != 0;
+  prof.level_width = r.index_vec();
+
+  const std::uint32_t group_count = r.u32();
+  if (!r.ok || group_count > r.remaining()) {
+    fail(error, "bad group count");
+    return std::nullopt;
+  }
+  std::vector<SubPlan> groups;
+  groups.reserve(group_count);
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    auto sub = read_subplan(r, code.field());
+    if (!sub.has_value()) {
+      fail(error, "bad group sub-plan");
+      return std::nullopt;
+    }
+    groups.push_back(std::move(*sub));
+  }
+  std::optional<SubPlan> rest;
+  const std::uint8_t has_rest = r.u8();
+  if (!r.ok || has_rest > 1) {
+    fail(error, "bad rest flag");
+    return std::nullopt;
+  }
+  if (has_rest == 1) {
+    rest = read_subplan(r, code.field());
+    if (!rest.has_value()) {
+      fail(error, "bad rest sub-plan");
+      return std::nullopt;
+    }
+  }
+  if (!r.ok || r.remaining() != 0) {
+    fail(error, "trailing bytes");
+    return std::nullopt;
+  }
+
+  StoredPlan stored{FailureScenario(faulty),
+                    CachedPlan::assemble(std::move(groups), std::move(rest)),
+                    std::move(prof)};
+  return stored;
+}
+
+PlanStore::PlanStore(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string PlanStore::record_filename(const ErasureCode& code,
+                                       const FailureScenario& scenario) {
+  std::string name = "sig" + hex16(code.code_signature().digest) + "-f";
+  bool first = true;
+  for (const std::size_t b : scenario.faulty()) {
+    if (!first) name += '_';
+    name += std::to_string(b);
+    first = false;
+  }
+  return name + ".plan";
+}
+
+bool PlanStore::put(const ErasureCode& code, const FailureScenario& scenario,
+                    const CachedPlan& plan) {
+  const std::vector<std::uint8_t> bytes =
+      serialize_plan(code, scenario, plan);
+  const std::scoped_lock lock(mutex_);
+  const std::filesystem::path target =
+      dir_ / record_filename(code, scenario);
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);  // atomic publish
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+void PlanStore::quarantine(const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".quarantined", ec);
+  if (ec) std::filesystem::remove(path, ec);  // rename failed: fail closed
+}
+
+PlanStore::LoadResult PlanStore::load_file(
+    const std::filesystem::path& path, const ErasureCode& code,
+    const FailureScenario* expected, std::shared_ptr<const CachedPlan>* out,
+    FailureScenario* scenario_out, std::string* why) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return LoadResult::kMissing;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    bytes.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+    if (!bytes.empty()) {
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!in.good() && !bytes.empty()) {
+      quarantine(path);
+      if (why != nullptr) *why = "unreadable record";
+      return LoadResult::kRejected;
+    }
+  }
+
+  std::string parse_error;
+  auto stored = deserialize_plan(bytes, code, &parse_error);
+  if (!stored.has_value()) {
+    quarantine(path);
+    if (why != nullptr) *why = "parse: " + parse_error;
+    return LoadResult::kRejected;
+  }
+  if (expected != nullptr && !(stored->scenario == *expected)) {
+    quarantine(path);
+    if (why != nullptr) *why = "record key does not match its contents";
+    return LoadResult::kRejected;
+  }
+
+  // Zero trust: re-prove the plan exactly as if it had just been built.
+  const auto verdict =
+      planverify::verify_plan(code, stored->scenario, stored->plan);
+  if (!verdict.ok()) {
+    quarantine(path);
+    if (why != nullptr) {
+      *why = "planverify: " + planverify::to_json(verdict.violations);
+    }
+    return LoadResult::kRejected;
+  }
+  const auto analysis = hazard::analyze_plan(stored->plan);
+  if (!analysis.ok()) {
+    quarantine(path);
+    if (why != nullptr) {
+      *why = "hazard: " + planverify::to_json(analysis.violations);
+    }
+    return LoadResult::kRejected;
+  }
+  const PlanProfile fresh = fresh_profile(stored->plan, analysis);
+  if (!(fresh == stored->stored_profile)) {
+    quarantine(path);
+    if (why != nullptr) *why = "stored profile disagrees with re-analysis";
+    return LoadResult::kRejected;
+  }
+
+  stored->plan.profile_ = fresh;  // install the RECOMPUTED profile
+  if (scenario_out != nullptr) *scenario_out = stored->scenario;
+  *out = std::make_shared<const CachedPlan>(std::move(stored->plan));
+  return LoadResult::kLoaded;
+}
+
+PlanStore::LoadResult PlanStore::load(const ErasureCode& code,
+                                      const FailureScenario& scenario,
+                                      std::shared_ptr<const CachedPlan>* out,
+                                      std::string* why) {
+  const std::scoped_lock lock(mutex_);
+  return load_file(dir_ / record_filename(code, scenario), code, &scenario,
+                   out, nullptr, why);
+}
+
+PlanStore::BulkLoad PlanStore::load_all(const ErasureCode& code) {
+  const std::string prefix = "sig" + hex16(code.code_signature().digest);
+  BulkLoad result;
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".plan") continue;
+    if (name.rfind(prefix, 0) != 0) continue;  // another code's record
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::shared_ptr<const CachedPlan> plan;
+    FailureScenario scenario;
+    switch (load_file(path, code, nullptr, &plan, &scenario, nullptr)) {
+      case LoadResult::kLoaded:
+        result.plans.emplace_back(std::move(scenario), std::move(plan));
+        break;
+      case LoadResult::kMissing:
+        break;  // raced with an external remove; nothing to count
+      case LoadResult::kRejected:
+        ++result.rejected;
+        break;
+    }
+  }
+  return result;
+}
+
+std::vector<PlanStore::Entry> PlanStore::list() const {
+  std::vector<Entry> entries;
+  const std::scoped_lock lock(mutex_);
+  for (const auto& item : std::filesystem::directory_iterator(dir_)) {
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    const bool plan = name.ends_with(".plan");
+    const bool quarantined = name.ends_with(".quarantined");
+    if (!plan && !quarantined) continue;
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(item.path(), ec);
+    entries.push_back(Entry{name, ec ? 0 : bytes, quarantined});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.filename < b.filename;
+            });
+  return entries;
+}
+
+PlanStore::CheckReport PlanStore::check(const ErasureCode& code) {
+  const std::string prefix = "sig" + hex16(code.code_signature().digest);
+  CheckReport report;
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".plan")) continue;
+    if (name.rfind(prefix, 0) != 0) continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    ++report.checked;
+    std::shared_ptr<const CachedPlan> plan;
+    switch (load_file(path, code, nullptr, &plan, nullptr, nullptr)) {
+      case LoadResult::kLoaded:
+        ++report.verified;
+        break;
+      case LoadResult::kRejected:
+        ++report.quarantined;
+        break;
+      case LoadResult::kMissing:
+        --report.checked;  // raced with an external remove
+        break;
+    }
+  }
+  return report;
+}
+
+PlanStore::GcReport PlanStore::gc() {
+  GcReport report;
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::filesystem::path> doomed_quarantined;
+  std::vector<std::filesystem::path> doomed_tmp;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".quarantined")) {
+      doomed_quarantined.push_back(entry.path());
+    } else if (name.ends_with(".tmp")) {
+      doomed_tmp.push_back(entry.path());
+    }
+  }
+  std::error_code ec;
+  for (const auto& path : doomed_quarantined) {
+    if (std::filesystem::remove(path, ec)) ++report.removed_quarantined;
+  }
+  for (const auto& path : doomed_tmp) {
+    if (std::filesystem::remove(path, ec)) ++report.removed_tmp;
+  }
+  return report;
+}
+
+}  // namespace ppm::planstore

@@ -1,0 +1,170 @@
+// Persistent plan store (ppm::planstore): verified decode plans on disk.
+//
+// A decode plan is a pure function of (code signature, faulty set), yet
+// every process restart rebuilds all of them — inversion, verification,
+// hazard analysis, repeated per fleet node. This subsystem serializes
+// verified CachedPlans into a versioned binary format, one record file
+// per plan under a store directory, so a restarted (or sibling) process
+// can warm its sharded plan cache from disk instead of rebuilding, and a
+// fleet can share one precomputed plan space.
+//
+// Record format (all integers little-endian):
+//
+//   header   magic "PPMPLAN\0" (8) | format version u32 | payload CRC32
+//            u32 | payload length u64
+//   payload  code-signature digest u64 | signature text (u32 len + bytes)
+//            | field width u32 | faulty set (u32 count + u64 ids)
+//            | PlanProfile (cost/work/critical_path/max_width u64,
+//              hazard_free u8, level widths u32 count + u64 each)
+//            | group count u32 | per sub-plan: sequence u8, unknowns /
+//              survivors / check rows (u32 count + u64 each), F⁻¹ and S
+//              matrices (u32 rows, u32 cols, u32 per element), cost u64,
+//              source_blocks u64
+//            | has_rest u8 [| rest sub-plan]
+//
+// ZERO-TRUST LOAD CONTRACT: bytes from disk are never executed on faith.
+// Every load re-proves the record — CRC + structural parse with bounds
+// and field-range checks, then planverify::verify_plan (independent
+// algebraic recomputation) and hazard::analyze_plan (race-freedom for all
+// interleavings), plus a cross-check of the stored profile against the
+// fresh analysis. A record failing ANY step is quarantined — renamed to
+// "<name>.quarantined", never served, never deleted silently — and the
+// caller rebuilds from the code itself. docs/PLAN_STORE.md documents the
+// format and the contract; `ppm_cli store {build,ls,check,gc}` operates
+// stores offline.
+//
+// Thread-safety: all public methods are safe to call concurrently; file
+// operations serialize on one internal mutex (loads and stores are rare
+// — cache misses and warms — so a single lock is not a bottleneck).
+// Cross-process safety comes from atomic write-rename: readers only ever
+// observe complete records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/codec.h"
+#include "codes/erasure_code.h"
+#include "decode/scenario.h"
+
+namespace ppm::planstore {
+
+/// On-disk format version; bumped on any layout change. Records with a
+/// different version never parse (they quarantine and rebuild).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Serialize one verified plan into a self-contained record (header +
+/// payload, see the format comment above).
+std::vector<std::uint8_t> serialize_plan(const ErasureCode& code,
+                                         const FailureScenario& scenario,
+                                         const CachedPlan& plan);
+
+/// A structurally parsed record. `plan` carries a default profile — the
+/// stored one is returned separately as UNTRUSTED data for cross-checking
+/// against a fresh hazard analysis; PlanStore::load installs the fresh
+/// profile after re-verification.
+struct StoredPlan {
+  FailureScenario scenario;
+  CachedPlan plan;
+  PlanProfile stored_profile;
+};
+
+/// Structural parse of a record: magic, version, CRC, bounds, field-range
+/// and scenario sanity checks — NO algebraic trust (that is the loader's
+/// planverify/hazard pass). std::nullopt on any inconsistency, including
+/// a signature digest or field width not matching `code` (a stale or
+/// foreign record). `error`, when non-null, receives a short reason.
+std::optional<StoredPlan> deserialize_plan(std::span<const std::uint8_t> bytes,
+                                           const ErasureCode& code,
+                                           std::string* error = nullptr);
+
+/// Directory-backed store: one record file per (code signature, faulty
+/// set), named "sig<digest hex>-f<ids>.plan".
+class PlanStore {
+ public:
+  /// Opens (and creates, if needed) `directory`. Throws
+  /// std::filesystem::filesystem_error when the directory cannot be
+  /// created.
+  explicit PlanStore(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// Serialize `plan` and persist it atomically (write to a temporary
+  /// name, then rename). Overwrites an existing record for the same key.
+  /// Returns false on I/O failure (the store is best-effort durable; the
+  /// caller's in-memory plan is unaffected).
+  bool put(const ErasureCode& code, const FailureScenario& scenario,
+           const CachedPlan& plan);
+
+  enum class LoadResult {
+    kLoaded,    ///< record re-proved sound; *out is the verified plan
+    kMissing,   ///< no record for this key
+    kRejected,  ///< record failed the zero-trust gate and was quarantined
+  };
+
+  /// Zero-trust load of the record for (code, scenario): parse, then
+  /// planverify::verify_plan + hazard::analyze_plan + profile cross-check.
+  /// On success the plan's profile is the freshly recomputed one. `why`,
+  /// when non-null, receives the rejection reason for kRejected.
+  LoadResult load(const ErasureCode& code, const FailureScenario& scenario,
+                  std::shared_ptr<const CachedPlan>* out,
+                  std::string* why = nullptr);
+
+  /// Result of a bulk zero-trust load of every record for `code`.
+  struct BulkLoad {
+    std::vector<std::pair<FailureScenario, std::shared_ptr<const CachedPlan>>>
+        plans;                 ///< every record that re-proved sound
+    std::size_t rejected = 0;  ///< records quarantined during the scan
+  };
+  BulkLoad load_all(const ErasureCode& code);
+
+  /// One store entry as seen on disk (no verification).
+  struct Entry {
+    std::string filename;
+    std::uintmax_t bytes = 0;
+    bool quarantined = false;
+  };
+  /// Every record and quarantined file in the store, sorted by name.
+  std::vector<Entry> list() const;
+
+  /// Re-verify every record for `code` through the zero-trust gate.
+  struct CheckReport {
+    std::size_t checked = 0;      ///< records examined
+    std::size_t verified = 0;     ///< records that re-proved sound
+    std::size_t quarantined = 0;  ///< records renamed aside
+  };
+  CheckReport check(const ErasureCode& code);
+
+  /// Remove quarantined records and orphaned temporaries. Healthy records
+  /// are never touched.
+  struct GcReport {
+    std::size_t removed_quarantined = 0;
+    std::size_t removed_tmp = 0;
+  };
+  GcReport gc();
+
+  /// Canonical record file name for a key.
+  static std::string record_filename(const ErasureCode& code,
+                                     const FailureScenario& scenario);
+
+ private:
+  LoadResult load_file(const std::filesystem::path& path,
+                       const ErasureCode& code,
+                       const FailureScenario* expected,
+                       std::shared_ptr<const CachedPlan>* out,
+                       FailureScenario* scenario_out, std::string* why);
+  void quarantine(const std::filesystem::path& path);
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace ppm::planstore

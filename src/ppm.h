@@ -53,6 +53,7 @@
 #include "matrix/matrix.h"
 #include "matrix/solve.h"
 #include "parallel/task_group.h"
+#include "plan_store/plan_store.h"
 #include "sim/array_sim.h"
 #include "verify_plan/plan_verify.h"
 #include "verify_plan/violation.h"

@@ -1,0 +1,362 @@
+// Persistent plan store: serialization round trips, write-through /
+// read-through / warm wiring in the Codec, and — the load-bearing part —
+// the zero-trust gate: corrupted, truncated, or version-bumped records
+// must be quarantined and rebuilt, never served and never fatal.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "codes/lrc_code.h"
+#include "codes/sd_code.h"
+#include "common/rng.h"
+#include "decode/scenario.h"
+#include "decode/traditional_decoder.h"
+#include "plan_store/plan_store.h"
+#include "workload/stripe.h"
+
+namespace ppm {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique store directory per test, removed on scope exit.
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("ppm_store_" + tag + "_" +
+               std::to_string(static_cast<unsigned long long>(
+                   reinterpret_cast<std::uintptr_t>(this))))) {
+    fs::remove_all(path_);
+  }
+  ~StoreDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+SDCode test_code() {
+  return SDCode(6, 8, 2, 2, SDCode::recommended_width(6, 8));
+}
+
+// Whole-disk failure scenario: every block of `disk`.
+FailureScenario disk_failure(const ErasureCode& code, std::size_t disk) {
+  std::vector<std::size_t> faulty;
+  for (std::size_t row = 0; row < code.rows(); ++row) {
+    faulty.push_back(code.block_id(row, disk));
+  }
+  return FailureScenario(faulty);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Encode a stripe, erase `sc`, decode with `plan`, and require the
+// original bytes back.
+void expect_plan_decodes(const ErasureCode& code, const FailureScenario& sc,
+                         const CachedPlan& plan) {
+  constexpr std::size_t kBlock = 512;
+  Stripe stripe(code, kBlock);
+  Rng rng(7);
+  stripe.fill_data(rng);
+  const TraditionalDecoder trad(code);
+  ASSERT_TRUE(trad.encode(stripe.block_ptrs(), kBlock));
+  const auto snap = stripe.snapshot();
+  stripe.erase(sc);
+  plan.execute(stripe.block_ptrs(), kBlock);
+  EXPECT_TRUE(stripe.equals(snap));
+}
+
+TEST(CodeSignature, StableForSameParameters) {
+  const SDCode a = test_code();
+  const SDCode b = test_code();
+  EXPECT_EQ(a.code_signature().text, b.code_signature().text);
+  EXPECT_EQ(a.code_signature().digest, b.code_signature().digest);
+  EXPECT_EQ(a.code_signature(), b.code_signature());
+}
+
+TEST(CodeSignature, DistinctAcrossParametersAndFamilies) {
+  const SDCode base = test_code();
+  const SDCode other_geom(6, 8, 2, 1, SDCode::recommended_width(6, 8));
+  const LRCCode lrc(12, 3, 2, 8);
+  EXPECT_NE(base.code_signature().digest, other_geom.code_signature().digest);
+  EXPECT_NE(base.code_signature().digest, lrc.code_signature().digest);
+  EXPECT_NE(base.code_signature().text, other_geom.code_signature().text);
+}
+
+TEST(PlanProfile, PopulatedAtBuildTime) {
+  const SDCode code = test_code();
+  Codec codec(code);
+  const auto plan = codec.plan_for(disk_failure(code, 0));
+  ASSERT_NE(plan, nullptr);
+  const PlanProfile& prof = plan->profile();
+  EXPECT_EQ(prof.cost, plan->cost());
+  EXPECT_TRUE(prof.hazard_free);
+  EXPECT_GT(prof.work, 0u);
+  EXPECT_LE(prof.critical_path, prof.work);
+  EXPECT_GE(prof.speedup_bound(), 1.0);
+  EXPECT_GE(prof.max_width, 1u);
+}
+
+TEST(PlanStoreFormat, SerializeDeserializeRoundTrip) {
+  const SDCode code = test_code();
+  Codec codec(code);
+  const FailureScenario sc = disk_failure(code, 1);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+
+  const auto bytes = planstore::serialize_plan(code, sc, *plan);
+  std::string err;
+  const auto stored = planstore::deserialize_plan(bytes, code, &err);
+  ASSERT_TRUE(stored.has_value()) << err;
+  EXPECT_EQ(stored->stored_profile, plan->profile());
+  EXPECT_EQ(std::vector<std::size_t>(stored->scenario.faulty().begin(),
+                                     stored->scenario.faulty().end()),
+            std::vector<std::size_t>(sc.faulty().begin(), sc.faulty().end()));
+  expect_plan_decodes(code, sc, stored->plan);
+}
+
+TEST(PlanStoreFormat, RejectsRecordOfForeignCode) {
+  const SDCode code = test_code();
+  Codec codec(code);
+  const FailureScenario sc = disk_failure(code, 0);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  const auto bytes = planstore::serialize_plan(code, sc, *plan);
+
+  const SDCode foreign(6, 8, 2, 1, SDCode::recommended_width(6, 8));
+  std::string err;
+  EXPECT_FALSE(planstore::deserialize_plan(bytes, foreign, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(PlanStore, PutThenLoadReVerifies) {
+  const SDCode code = test_code();
+  const StoreDir dir("put_load");
+  planstore::PlanStore store(dir.path());
+  Codec codec(code);
+  const FailureScenario sc = disk_failure(code, 2);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(store.put(code, sc, *plan));
+
+  std::shared_ptr<const CachedPlan> loaded;
+  EXPECT_EQ(store.load(code, sc, &loaded),
+            planstore::PlanStore::LoadResult::kLoaded);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->profile(), plan->profile());
+  expect_plan_decodes(code, sc, *loaded);
+
+  // A key with no record is kMissing, not an error.
+  std::shared_ptr<const CachedPlan> missing;
+  EXPECT_EQ(store.load(code, disk_failure(code, 3), &missing),
+            planstore::PlanStore::LoadResult::kMissing);
+  EXPECT_EQ(missing, nullptr);
+}
+
+TEST(PlanStore, CodecWriteThroughAndReadThrough) {
+  const SDCode code = test_code();
+  const StoreDir dir("write_read");
+  const FailureScenario sc = disk_failure(code, 0);
+
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  ASSERT_NE(writer.plan_for(sc), nullptr);
+  EXPECT_EQ(writer.metrics().planstore_stores.value(), 1u);
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  EXPECT_TRUE(fs::exists(record));
+
+  // A fresh process (new Codec) read-throughs the record instead of
+  // rebuilding — and the loaded plan decodes correctly.
+  Codec reader(code);
+  reader.attach_store(dir.path().string());
+  const auto plan = reader.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(reader.metrics().planstore_loads.value(), 1u);
+  EXPECT_EQ(reader.metrics().planstore_stores.value(), 0u);
+  expect_plan_decodes(code, sc, *plan);
+}
+
+TEST(PlanStore, WarmPopulatesShardedCache) {
+  const SDCode code = test_code();
+  const StoreDir dir("warm");
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  for (std::size_t d = 0; d < 3; ++d) {
+    ASSERT_NE(writer.plan_for(disk_failure(code, d)), nullptr);
+  }
+
+  Codec cold(code);
+  cold.attach_store(dir.path().string());
+  EXPECT_EQ(cold.warm(), 3u);
+  EXPECT_EQ(cold.metrics().planstore_warm_hits.value(), 3u);
+  EXPECT_EQ(cold.cache_size(), 3u);
+  // First decode after warm() is a pure cache hit: no load, no rebuild.
+  const auto before_hits = cold.cache_hits();
+  ASSERT_NE(cold.plan_for(disk_failure(code, 1)), nullptr);
+  EXPECT_EQ(cold.cache_hits(), before_hits + 1);
+  EXPECT_EQ(cold.metrics().planstore_loads.value(), 3u);
+}
+
+TEST(PlanStore, ScenarioListWarmLoadsSelectedKeys) {
+  const SDCode code = test_code();
+  const StoreDir dir("warm_list");
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  const std::vector<FailureScenario> scenarios = {disk_failure(code, 0),
+                                                  disk_failure(code, 1)};
+  for (const auto& sc : scenarios) {
+    ASSERT_NE(writer.plan_for(sc), nullptr);
+  }
+  Codec cold(code);
+  cold.attach_store(dir.path().string());
+  EXPECT_EQ(cold.warm(scenarios), 2u);
+  EXPECT_EQ(cold.cache_size(), 2u);
+}
+
+TEST(PlanStore, CorruptPayloadIsQuarantinedAndRebuilt) {
+  const SDCode code = test_code();
+  const StoreDir dir("corrupt");
+  const FailureScenario sc = disk_failure(code, 1);
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  ASSERT_NE(writer.plan_for(sc), nullptr);
+
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  auto bytes = read_file(record);
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[30] ^= 0xFF;  // inside the CRC-protected payload
+  write_file(record, bytes);
+
+  planstore::PlanStore store(dir.path());
+  std::shared_ptr<const CachedPlan> out;
+  std::string why;
+  EXPECT_EQ(store.load(code, sc, &out, &why),
+            planstore::PlanStore::LoadResult::kRejected);
+  EXPECT_EQ(out, nullptr);
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(fs::exists(record));
+  EXPECT_TRUE(fs::exists(record.string() + ".quarantined"));
+
+  // A codec facing the corrupt record rebuilds from the code, decodes
+  // correctly, and re-persists a healthy record.
+  write_file(record, bytes);  // fresh corrupt copy
+  Codec reader(code);
+  reader.attach_store(dir.path().string());
+  const auto plan = reader.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(reader.metrics().planstore_load_failures.value(), 1u);
+  EXPECT_EQ(reader.metrics().planstore_quarantined.value(), 1u);
+  EXPECT_EQ(reader.metrics().planstore_stores.value(), 1u);
+  EXPECT_TRUE(fs::exists(record));
+  expect_plan_decodes(code, sc, *plan);
+}
+
+TEST(PlanStore, TruncatedRecordIsQuarantined) {
+  const SDCode code = test_code();
+  const StoreDir dir("truncate");
+  const FailureScenario sc = disk_failure(code, 0);
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  ASSERT_NE(writer.plan_for(sc), nullptr);
+
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  auto bytes = read_file(record);
+  bytes.resize(bytes.size() / 2);
+  write_file(record, bytes);
+
+  planstore::PlanStore store(dir.path());
+  std::shared_ptr<const CachedPlan> out;
+  EXPECT_EQ(store.load(code, sc, &out),
+            planstore::PlanStore::LoadResult::kRejected);
+  EXPECT_TRUE(fs::exists(record.string() + ".quarantined"));
+}
+
+TEST(PlanStore, FutureFormatVersionIsQuarantined) {
+  const SDCode code = test_code();
+  const StoreDir dir("version");
+  const FailureScenario sc = disk_failure(code, 0);
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  ASSERT_NE(writer.plan_for(sc), nullptr);
+
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  auto bytes = read_file(record);
+  bytes[8] += 1;  // format-version u32 sits after the 8-byte magic
+  write_file(record, bytes);
+
+  planstore::PlanStore store(dir.path());
+  std::shared_ptr<const CachedPlan> out;
+  std::string why;
+  EXPECT_EQ(store.load(code, sc, &out, &why),
+            planstore::PlanStore::LoadResult::kRejected);
+  EXPECT_NE(why.find("version"), std::string::npos);
+  EXPECT_TRUE(fs::exists(record.string() + ".quarantined"));
+}
+
+TEST(PlanStore, CheckReportsAndGcRemovesQuarantined) {
+  const SDCode code = test_code();
+  const StoreDir dir("check_gc");
+  Codec writer(code);
+  writer.attach_store(dir.path().string());
+  for (std::size_t d = 0; d < 3; ++d) {
+    ASSERT_NE(writer.plan_for(disk_failure(code, d)), nullptr);
+  }
+
+  planstore::PlanStore store(dir.path());
+  auto report = store.check(code);
+  EXPECT_EQ(report.checked, 3u);
+  EXPECT_EQ(report.verified, 3u);
+  EXPECT_EQ(report.quarantined, 0u);
+
+  // Corrupt one record and drop an orphan temporary; check() must
+  // quarantine exactly the bad record, and gc() must sweep both.
+  const fs::path victim =
+      dir.path() /
+      planstore::PlanStore::record_filename(code, disk_failure(code, 1));
+  auto bytes = read_file(victim);
+  bytes.back() ^= 0x01;
+  write_file(victim, bytes);
+  write_file(dir.path() / "orphan.plan.tmp", {0x00});
+
+  report = store.check(code);
+  EXPECT_EQ(report.checked, 3u);
+  EXPECT_EQ(report.verified, 2u);
+  EXPECT_EQ(report.quarantined, 1u);
+
+  std::size_t quarantined_listed = 0;
+  for (const auto& entry : store.list()) {
+    quarantined_listed += entry.quarantined ? 1 : 0;
+  }
+  EXPECT_EQ(quarantined_listed, 1u);
+
+  const auto gc = store.gc();
+  EXPECT_EQ(gc.removed_quarantined, 1u);
+  EXPECT_EQ(gc.removed_tmp, 1u);
+  for (const auto& entry : store.list()) {
+    EXPECT_FALSE(entry.quarantined);
+  }
+}
+
+}  // namespace
+}  // namespace ppm

@@ -10,6 +10,9 @@
 //                    [--scenario 1,5,9] [--sweep <disks>]
 //   ppm_cli analyze  --code <family> [params]      concurrency-hazard proof +
 //                    [--scenario 1,5,9] [--sweep <disks>]   critical-path bounds
+//   ppm_cli store {build|ls|check|gc} --dir <dir>  persistent plan store:
+//                    [--code <family> [params]] [--sweep <disks>]
+//                    build/list/re-verify/garbage-collect plan records
 //
 // Families and their parameters (defaults in parentheses):
 //   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
@@ -22,6 +25,7 @@
 // (family worst case) — number of whole-disk failures for the generic
 // generator.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -37,6 +41,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string subcommand;  // e.g. "build" in `ppm_cli store build ...`
   std::map<std::string, std::string> flags;
 
   std::size_t get(const std::string& key, std::size_t fallback) const {
@@ -53,7 +58,12 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   if (argc > 1) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int first_flag = 2;
+  if (argc > 2 && argv[2][0] != '-') {
+    args.subcommand = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i + 1 < argc; i += 2) {
     const char* key = argv[i];
     if (key[0] == '-' && key[1] == '-') {
       args.flags[key + 2] = argv[i + 1];
@@ -481,13 +491,16 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
       }
     };
 
-    // 1. The PPM group fan-out of the cached plan.
-    const auto analysis = hazard::analyze_plan(*plan);
-    take(analysis, "plan");
-    work_sum += analysis.total_work;
-    critical_sum += analysis.critical_path;
-    max_width = std::max(max_width, analysis.max_width);
-    best_speedup = std::max(best_speedup, analysis.speedup_bound());
+    // 1. The PPM group fan-out: every plan carries its hazard/cost
+    //    profile from birth (Codec::build_plan analyzes it once), so read
+    //    profile() instead of re-running the analyzer; only a hazardous
+    //    plan is re-analyzed, to recover the violation details.
+    const PlanProfile& prof = plan->profile();
+    if (!prof.hazard_free) take(hazard::analyze_plan(*plan), "plan");
+    work_sum += prof.work;
+    critical_sum += prof.critical_path;
+    max_width = std::max(max_width, prof.max_width);
+    best_speedup = std::max(best_speedup, prof.speedup_bound());
 
     // 2. Every binary sub-system's XOR schedule, as a parallel program.
     const auto check_schedule = [&](const SubPlan& sub) {
@@ -513,7 +526,7 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
     }
 
     std::string widths;
-    for (const std::size_t w : analysis.level_width) {
+    for (const std::size_t w : prof.level_width) {
       widths += (widths.empty() ? "" : ",") + std::to_string(w);
     }
     char buf[256];
@@ -523,21 +536,20 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
                   "\"level_width\":[%s],\"max_width\":%zu,"
                   "\"max_speedup_bound\":%.4f}",
                   scenario_ids(sc).c_str(),
-                  analysis.level_width.empty()
+                  prof.level_width.empty()
                       ? std::size_t{0}
-                      : std::accumulate(analysis.level_width.begin(),
-                                        analysis.level_width.end(),
+                      : std::accumulate(prof.level_width.begin(),
+                                        prof.level_width.end(),
                                         std::size_t{0}),
-                  analysis.total_work, analysis.critical_path, widths.c_str(),
-                  analysis.max_width, analysis.speedup_bound());
+                  prof.work, prof.critical_path, widths.c_str(),
+                  prof.max_width, prof.speedup_bound());
     profile_json = buf;
     if (!args.flags.contains("sweep")) {
       std::fprintf(stderr,
                    "scenario [%s]: work=%zu critical_path=%zu "
                    "width=%zu speedup<=%.2f\n",
-                   scenario_ids(sc).c_str(), analysis.total_work,
-                   analysis.critical_path, analysis.max_width,
-                   analysis.speedup_bound());
+                   scenario_ids(sc).c_str(), prof.work, prof.critical_path,
+                   prof.max_width, prof.speedup_bound());
     }
   });
 
@@ -600,6 +612,106 @@ int cmd_selftest(const ErasureCode& code, const Args& args) {
   return 0;
 }
 
+// Persistent plan store operations (docs/PLAN_STORE.md):
+//
+//   store build --dir D [--sweep N|--scenario ...]   plan, verify, persist
+//   store ls    --dir D                              list records on disk
+//   store check --dir D                              zero-trust re-verify all
+//   store gc    --dir D                              drop quarantined + tmp
+//
+// `check` exits 1 unless every record re-proves sound AND at least one
+// record warmed a fresh Codec's plan cache — the CI restart drill.
+int cmd_store(const ErasureCode& code, const Args& args) {
+  const std::string action = args.subcommand;
+  const std::string dir = args.get("dir", std::string{});
+  if (dir.empty()) {
+    std::fprintf(stderr, "store %s: --dir is required\n", action.c_str());
+    return 2;
+  }
+
+  if (action == "build") {
+    Codec::Options copts;
+    copts.cache_capacity = args.get("capacity", 4096);
+    Codec codec(code, copts);
+    codec.attach_store(dir);
+    std::size_t built = 0;
+    std::size_t undecodable = 0;
+    for_each_selected_scenario(code, args, [&](const FailureScenario& sc) {
+      if (codec.plan_for(sc) == nullptr) {
+        ++undecodable;
+      } else {
+        ++built;
+      }
+    });
+    const std::uint64_t stored = codec.metrics().planstore_stores.value();
+    std::fprintf(stderr, "%s: %zu plan(s) built (%zu undecodable), %llu "
+                 "persisted to %s\n",
+                 code.name().c_str(), built, undecodable,
+                 static_cast<unsigned long long>(stored), dir.c_str());
+    std::printf("{\"built\":%zu,\"undecodable\":%zu,\"stored\":%llu}\n",
+                built, undecodable,
+                static_cast<unsigned long long>(stored));
+    return built > 0 ? 0 : 1;
+  }
+
+  if (action == "ls") {
+    const planstore::PlanStore store(dir);
+    std::size_t records = 0;
+    std::size_t quarantined = 0;
+    for (const auto& entry : store.list()) {
+      std::printf("%10ju  %s%s\n", entry.bytes, entry.filename.c_str(),
+                  entry.quarantined ? "  [QUARANTINED]" : "");
+      ++(entry.quarantined ? quarantined : records);
+    }
+    std::fprintf(stderr, "%zu record(s), %zu quarantined\n", records,
+                 quarantined);
+    return 0;
+  }
+
+  if (action == "check") {
+    planstore::PlanStore store(dir);
+    const auto report = store.check(code);
+    // Restart drill: a fresh Codec must be able to warm its cache from
+    // what survived the check.
+    Codec::Options copts;
+    copts.cache_capacity = args.get("capacity", 4096);
+    Codec codec(code, copts);
+    codec.attach_store(dir);
+    const std::size_t warmed = codec.warm();
+    const std::uint64_t warm_hits =
+        codec.metrics().planstore_warm_hits.value();
+    std::printf("{\"checked\":%zu,\"verified\":%zu,\"quarantined\":%zu,"
+                "\"warm_hits\":%llu}\n",
+                report.checked, report.verified, report.quarantined,
+                static_cast<unsigned long long>(warm_hits));
+    if (report.checked == 0) {
+      std::fprintf(stderr, "FAIL: store has no records for %s\n",
+                   code.name().c_str());
+      return 1;
+    }
+    if (report.quarantined > 0 || report.verified != report.checked) {
+      std::fprintf(stderr, "FAIL: %zu of %zu record(s) quarantined\n",
+                   report.quarantined, report.checked);
+      return 1;
+    }
+    std::fprintf(stderr, "PASS: %zu record(s) re-verified, %zu warmed\n",
+                 report.verified, warmed);
+    return 0;
+  }
+
+  if (action == "gc") {
+    planstore::PlanStore store(dir);
+    const auto report = store.gc();
+    std::printf("{\"removed_quarantined\":%zu,\"removed_tmp\":%zu}\n",
+                report.removed_quarantined, report.removed_tmp);
+    return 0;
+  }
+
+  std::fprintf(stderr, "usage: ppm_cli store {build|ls|check|gc} --dir <d> "
+               "[--code ... --sweep N]\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -607,10 +719,11 @@ int main(int argc, char** argv) {
   if (args.command.empty()) {
     std::fprintf(stderr,
                  "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
-                 "analyze} "
+                 "analyze|store} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
-                 "[params]\n",
-                 argv[0]);
+                 "[params]\n"
+                 "       %s store {build|ls|check|gc} --dir <dir> [params]\n",
+                 argv[0], argv[0]);
     return 2;
   }
   try {
@@ -623,6 +736,7 @@ int main(int argc, char** argv) {
     if (args.command == "selftest") return cmd_selftest(*code, args);
     if (args.command == "verify") return cmd_verify(*code, args);
     if (args.command == "analyze") return cmd_analyze(*code, args);
+    if (args.command == "store") return cmd_store(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {

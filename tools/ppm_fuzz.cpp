@@ -11,7 +11,9 @@
 //     random binary matrix's XOR schedule survives symbolic replay;
 //   * the plan's parallel fan-out and the schedule's target units are
 //     hazard-free (ppm::hazard) with a sane parallelism profile
-//     (critical path <= total work, speedup bound >= 1).
+//     (critical path <= total work, speedup bound >= 1);
+//   * every decodable plan survives a plan-store round trip: serialize →
+//     deserialize → planverify + hazard re-proof → byte-identical decode.
 //
 //   ./ppm_fuzz [seconds] [seed]     (defaults: 10 seconds, seed 1 —
 //                                    deterministic for reproducibility)
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
   std::size_t rejected = 0;
   std::size_t verified_plans = 0;
   std::size_t verified_schedules = 0;
+  std::size_t round_trips = 0;
   while (clock.seconds() < budget) {
     ++trials;
 
@@ -211,6 +214,36 @@ int main(int argc, char** argv) {
         return 1;
       }
       ++verified_plans;
+      // Plan-store round trip: serialize -> deserialize -> re-prove ->
+      // byte-identical decode against the fresh plan.
+      const auto bytes = planstore::serialize_plan(*code, sc, *plan);
+      std::string err;
+      auto stored = planstore::deserialize_plan(bytes, *code, &err);
+      if (!stored.has_value()) {
+        std::fprintf(stderr, "FUZZ FAIL (store round trip): %s: %s\n",
+                     code->name().c_str(), err.c_str());
+        return 1;
+      }
+      const auto rt_verdict =
+          planverify::verify_plan(*code, sc, stored->plan);
+      const auto rt_hz = hazard::analyze_plan(stored->plan);
+      if (!rt_verdict.ok() || !rt_hz.ok() ||
+          stored->stored_profile != plan->profile() ||
+          !std::equal(stored->scenario.faulty().begin(),
+                      stored->scenario.faulty().end(), sc.faulty().begin(),
+                      sc.faulty().end())) {
+        std::fprintf(stderr, "FUZZ FAIL (round-trip re-verify): %s\n",
+                     code->name().c_str());
+        return 1;
+      }
+      stripe.erase(sc);
+      stored->plan.execute(stripe.block_ptrs(), block);
+      if (!stripe.equals(snap)) {
+        std::fprintf(stderr, "FUZZ FAIL (round-trip decode bytes): %s\n",
+                     code->name().c_str());
+        return 1;
+      }
+      ++round_trips;
     } else {
       ++rejected;
       std::memcpy(stripe.block(0), snap.data(), snap.size());
@@ -218,8 +251,8 @@ int main(int argc, char** argv) {
   }
   std::printf("ppm_fuzz: %zu trials in %.1fs (%zu decodable, %zu beyond "
               "tolerance), %zu plans + %zu XOR schedules verifier-clean, "
-              "0 failures\n",
+              "%zu store round trips, 0 failures\n",
               trials, clock.seconds(), decodable, rejected, verified_plans,
-              verified_schedules);
+              verified_schedules, round_trips);
   return 0;
 }
