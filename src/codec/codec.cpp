@@ -221,7 +221,13 @@ std::shared_ptr<const CachedPlan> Codec::plan_for(
   // sibling node) can warm from disk. Hazardous plans are never persisted
   // — the load path would only quarantine them again.
   if (store != nullptr && plan->profile().hazard_free) {
-    if (store->put(*code_, scenario, *plan)) metrics_.planstore_stores.add();
+    if (store->put(*code_, scenario, *plan)) {
+      metrics_.planstore_stores.add();
+    } else {
+      // Best-effort durability: a failed write-through costs the next
+      // restart a rebuild, nothing more. Counted, never thrown.
+      metrics_.planstore_store_failures.add();
+    }
   }
   return cache_.insert(key, std::move(plan));
 }

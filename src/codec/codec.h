@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/resilient.h"
 #include "codes/erasure_code.h"
 #include "common/metrics.h"
 #include "common/sharded_lru.h"
@@ -40,6 +41,10 @@ namespace ppm {
 namespace planstore {
 class PlanStore;
 }  // namespace planstore
+
+namespace io {
+class BlockSource;
+}  // namespace io
 
 /// Cost/concurrency profile of a cached plan — the numbers the hazard
 /// analyzer (analyze_hazard/) derives from the plan's dependency DAG.
@@ -141,6 +146,25 @@ class Codec {
   /// Encode one stripe (scenario = all parity blocks).
   bool encode(std::uint8_t* const* blocks, std::size_t block_bytes,
               DecodeStats* stats = nullptr);
+
+  /// Resilient decode over a fallible BlockSource (io/block_source.h):
+  /// survivors are fetched through `source` into the caller's `blocks`
+  /// regions with bounded retries + exponential backoff under one
+  /// per-decode deadline; a permanently unreadable (or, given digests,
+  /// corrupt) survivor is escalated into the faulty set and the decode
+  /// re-planned through the plan cache/store; an undecodable escalated
+  /// scenario still recovers every independent O1 group whose inputs are
+  /// readable (partial recovery). When `expected_crc` has one CRC32 per
+  /// block, survivor reads and recovered blocks are integrity-checked
+  /// against it and mismatches reported as corruption_detected. Never
+  /// throws on I/O faults; see codec/resilient.h and docs/ROBUSTNESS.md.
+  ResilientResult decode_resilient(const FailureScenario& scenario,
+                                   io::BlockSource& source,
+                                   std::uint8_t* const* blocks,
+                                   std::size_t block_bytes,
+                                   const ResilienceOptions& options = {},
+                                   std::span<const std::uint32_t>
+                                       expected_crc = {});
 
   /// Decode a batch of stripes sharing one failure scenario — the
   /// disk-rebuild path. Planning happens once; stripes are distributed

@@ -102,8 +102,14 @@ void CodecMetrics::reset() {
   planstore_loads.reset();
   planstore_load_failures.reset();
   planstore_stores.reset();
+  planstore_store_failures.reset();
   planstore_quarantined.reset();
   planstore_warm_hits.reset();
+  resilience_retries.reset();
+  resilience_escalations.reset();
+  resilience_partial_decodes.reset();
+  resilience_deadline_exceeded.reset();
+  resilience_corruption_detected.reset();
   decodes.reset();
   batches.reset();
   stripes_decoded.reset();
@@ -134,8 +140,16 @@ std::string CodecMetrics::to_json() const {
   append_kv(out, "loads", planstore_loads.value());
   append_kv(out, "load_failures", planstore_load_failures.value());
   append_kv(out, "stores", planstore_stores.value());
+  append_kv(out, "store_failures", planstore_store_failures.value());
   append_kv(out, "quarantined", planstore_quarantined.value());
   append_kv(out, "warm_hits", planstore_warm_hits.value(), false);
+  out += "},\"resilience\":{";
+  append_kv(out, "retries", resilience_retries.value());
+  append_kv(out, "escalations", resilience_escalations.value());
+  append_kv(out, "partial_decodes", resilience_partial_decodes.value());
+  append_kv(out, "deadline_exceeded", resilience_deadline_exceeded.value());
+  append_kv(out, "corruption_detected",
+            resilience_corruption_detected.value(), false);
   out += "},\"decode\":{";
   append_kv(out, "decodes", decodes.value());
   append_kv(out, "batches", batches.value());

@@ -147,8 +147,19 @@ struct CodecMetrics {
   Counter planstore_loads;          ///< plans served from disk, re-verified
   Counter planstore_load_failures;  ///< records failing parse or re-proof
   Counter planstore_stores;         ///< plans written through to disk
+  Counter planstore_store_failures; ///< put() aborted by an I/O error
   Counter planstore_quarantined;    ///< records renamed aside as untrusted
   Counter planstore_warm_hits;      ///< warm() preloads entering the cache
+
+  // Resilient decode pipeline (codec/resilient.cpp). Events, not blocks:
+  // one decode that retries a block three times counts three retries, and
+  // corruption_detected counts every CRC mismatch observed (a persistently
+  // corrupt block re-checked across retries counts each check).
+  Counter resilience_retries;             ///< survivor-read retries issued
+  Counter resilience_escalations;         ///< survivors promoted to faulty
+  Counter resilience_partial_decodes;     ///< decodes degraded to partial
+  Counter resilience_deadline_exceeded;   ///< decodes that ran out of budget
+  Counter resilience_corruption_detected; ///< expected-CRC mismatches
 
   // Decode volume.
   Counter decodes;          ///< single-stripe decode() calls

@@ -55,8 +55,15 @@ std::optional<std::vector<gf::Element>> solve_particular(
 }  // namespace
 
 std::optional<DegradedReadPlan> DegradedReader::plan(
-    std::size_t target, const FailureScenario& unavailable) const {
-  if (!unavailable.contains(target)) return std::nullopt;
+    std::size_t target, const FailureScenario& unavailable,
+    DegradedReadError* error) const {
+  const auto fail = [error](DegradedReadError why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!unavailable.contains(target)) {
+    return fail(DegradedReadError::kTargetNotUnavailable);
+  }
   const Matrix& h = code_->parity_check();
   const gf::Field& f = code_->field();
   const auto faulty = unavailable.faulty();
@@ -120,25 +127,30 @@ std::optional<DegradedReadPlan> DegradedReader::plan(
   if (best_row.has_value() && best_row_cost <= combo_cost) {
     for (std::size_t c = 0; c < h.cols(); ++c) hrow(0, c) = h(*best_row, c);
   } else if (combo_cost == SIZE_MAX) {
-    return std::nullopt;  // target not expressible from available blocks
+    // Target not expressible from available blocks.
+    return fail(DegradedReadError::kInsufficientSurvivors);
   }
 
   const std::vector<std::size_t> rows{0};
   const std::vector<std::size_t> unknowns{target};
   auto plan = SubPlan::make(hrow, rows, unknowns, faulty,
                             Sequence::kMatrixFirst);
-  if (!plan.has_value()) return std::nullopt;
+  if (!plan.has_value()) {
+    return fail(DegradedReadError::kInsufficientSurvivors);
+  }
   DegradedReadPlan out{std::move(*plan), 0, 0};
   out.cost = out.plan.cost();
   out.survivors = out.plan.survivors().size();
+  if (error != nullptr) *error = DegradedReadError::kNone;
   return out;
 }
 
 bool DegradedReader::read(std::size_t target,
                           const FailureScenario& unavailable,
                           std::uint8_t* const* blocks,
-                          std::size_t block_bytes, DecodeStats* stats) const {
-  const auto p = plan(target, unavailable);
+                          std::size_t block_bytes, DecodeStats* stats,
+                          DegradedReadError* error) const {
+  const auto p = plan(target, unavailable, error);
   if (!p.has_value()) return false;
   p->plan.execute(blocks, block_bytes, stats);
   return true;

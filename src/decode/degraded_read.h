@@ -24,6 +24,18 @@ struct DegradedReadPlan {
   std::size_t survivors;   ///< distinct blocks read
 };
 
+/// Why a degraded read could not be planned. The two failure classes call
+/// for different reactions: kTargetNotUnavailable is a caller bug (or a
+/// race with recovery — the block is readable, just read it), while
+/// kInsufficientSurvivors means this unavailable set genuinely cannot
+/// express the target and the caller should fall back to a full decode or
+/// report data loss.
+enum class DegradedReadError {
+  kNone,                   ///< planned successfully
+  kTargetNotUnavailable,   ///< `unavailable` does not contain the target
+  kInsufficientSurvivors,  ///< no row combination avoids unavailable blocks
+};
+
 class DegradedReader {
  public:
   explicit DegradedReader(const ErasureCode& code) : code_(&code) {}
@@ -32,15 +44,18 @@ class DegradedReader {
   /// `unavailable` (which must include `target`) cannot be read.
   /// std::nullopt when the target is not recoverable without touching
   /// other unavailable blocks... in which case callers fall back to a full
-  /// PPM decode of the whole unavailable set.
+  /// PPM decode of the whole unavailable set. `error`, when non-null,
+  /// receives the failure class (kNone on success).
   std::optional<DegradedReadPlan> plan(std::size_t target,
-                                       const FailureScenario& unavailable)
+                                       const FailureScenario& unavailable,
+                                       DegradedReadError* error = nullptr)
       const;
 
   /// Plan + execute in one call; true on success (target block rewritten).
   bool read(std::size_t target, const FailureScenario& unavailable,
             std::uint8_t* const* blocks, std::size_t block_bytes,
-            DecodeStats* stats = nullptr) const;
+            DecodeStats* stats = nullptr,
+            DegradedReadError* error = nullptr) const;
 
  private:
   const ErasureCode* code_;

@@ -1,0 +1,16 @@
+#include "io/block_source.h"
+
+#include <cstring>
+
+namespace ppm::io {
+
+ReadStatus MemoryBlockSource::read(std::size_t block, std::uint8_t* dst,
+                                   std::size_t bytes) {
+  if (block >= count_ || bytes > block_bytes_ || dst == nullptr) {
+    return ReadStatus::kFailed;
+  }
+  std::memcpy(dst, blocks_[block], bytes);
+  return ReadStatus::kOk;
+}
+
+}  // namespace ppm::io

@@ -1,0 +1,82 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ppm::io {
+
+namespace {
+const FaultSpec kHealthy{};
+}  // namespace
+
+void FaultInjectingSource::set_fault(std::size_t block,
+                                     const FaultSpec& spec) {
+  if (block >= specs_.size()) return;
+  specs_[block] = spec;
+  attempts_[block] = 0;
+}
+
+const FaultSpec& FaultInjectingSource::fault(std::size_t block) const {
+  return block < specs_.size() ? specs_[block] : kHealthy;
+}
+
+void FaultInjectingSource::roll_campaign(
+    const CampaignOptions& options, Rng& rng,
+    const std::vector<std::size_t>& exempt) {
+  for (std::size_t b = 0; b < specs_.size(); ++b) {
+    // Draw for every block, exempt or not, so the schedule of the
+    // non-exempt blocks does not depend on which blocks were exempted.
+    const double roll = rng.uniform();
+    const std::size_t transient_reads = 1 + rng.bounded(3);
+    const std::size_t corrupt_offset =
+        block_bytes() == 0 ? 0 : rng.bounded(block_bytes());
+    const std::size_t corrupt_len = 1 + rng.bounded(16);
+    if (std::find(exempt.begin(), exempt.end(), b) != exempt.end()) continue;
+    FaultSpec spec;
+    double threshold = options.fail_permanent;
+    if (roll < threshold) {
+      spec.fail_always = true;
+    } else if (roll < (threshold += options.fail_transient)) {
+      spec.fail_reads = transient_reads;
+    } else if (roll < (threshold += options.corrupt)) {
+      spec.corrupt = true;
+      spec.corrupt_offset = corrupt_offset;
+      spec.corrupt_bytes =
+          std::min(corrupt_len, block_bytes() - corrupt_offset);
+    } else if (roll < threshold + options.delay) {
+      spec.delay = options.delay_ns;
+    }
+    set_fault(b, spec);
+  }
+}
+
+ReadStatus FaultInjectingSource::read(std::size_t block, std::uint8_t* dst,
+                                      std::size_t bytes) {
+  ++reads_attempted_;
+  if (block >= specs_.size()) return inner_->read(block, dst, bytes);
+  const FaultSpec& spec = specs_[block];
+  const std::size_t attempt = attempts_[block]++;
+  if (spec.delay.count() > 0) {
+    ++delays_injected_;
+    std::this_thread::sleep_for(spec.delay);
+  }
+  if (spec.fail_always || attempt < spec.fail_reads) {
+    ++failures_injected_;
+    return ReadStatus::kFailed;
+  }
+  const ReadStatus status = inner_->read(block, dst, bytes);
+  if (status != ReadStatus::kOk) return status;
+  if (spec.corrupt && bytes > 0) {
+    const std::uint8_t mask = spec.corrupt_mask == 0 ? std::uint8_t{0xFF}
+                                                     : spec.corrupt_mask;
+    const std::size_t begin = std::min(spec.corrupt_offset, bytes);
+    const std::size_t len = spec.corrupt_bytes == 0
+                                ? bytes - begin
+                                : std::min(spec.corrupt_bytes, bytes - begin);
+    for (std::size_t i = 0; i < len; ++i) dst[begin + i] ^= mask;
+    if (len > 0) ++corruptions_injected_;
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace ppm::io

@@ -1,0 +1,116 @@
+// Deterministic read-fault injection for chaos testing (ppm::io).
+//
+// FaultInjectingSource wraps any BlockSource and applies a per-block
+// FaultSpec on every read attempt: fail permanently, fail the first N
+// attempts then recover (transient failure), delay the read (straggler),
+// or corrupt a byte range of the returned data (torn sector / bit rot).
+// Specs are either set explicitly per block (unit tests pin exact
+// schedules) or rolled from a seeded Rng (`roll_campaign`), so a chaos
+// run is reproducible from its seed alone — no wall-clock or entropy
+// dependence decides which faults fire.
+//
+// Attempt counting is per block: the first read of block b is attempt 0,
+// its first retry attempt 1, and so on. That is what makes
+// fail-then-recover schedules meaningful to the resilient pipeline's
+// bounded-retry loop.
+//
+// Not thread-safe: the resilient pipeline reads serially; wrap with a
+// lock if a concurrent harness ever needs one source.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/block_source.h"
+
+namespace ppm::io {
+
+/// Per-block fault schedule. Default-constructed = healthy block.
+struct FaultSpec {
+  /// Fail every read attempt (a dead disk / unreachable peer).
+  bool fail_always = false;
+
+  /// Fail the first `fail_reads` attempts, then succeed — the transient
+  /// failure class (paper-adjacent: LRC's 90%-transient motivation).
+  /// Ignored when fail_always is set.
+  std::size_t fail_reads = 0;
+
+  /// Added latency per read attempt (straggler). Applied before the
+  /// read outcome is decided, so a delayed read can still fail.
+  std::chrono::nanoseconds delay{0};
+
+  /// XOR `corrupt_mask` over `[corrupt_offset, corrupt_offset +
+  /// corrupt_bytes)` of every successful read (torn sector). A zero mask
+  /// is promoted to 0xFF so a corrupting spec always changes bytes;
+  /// corrupt_bytes == 0 with corrupt == true corrupts the whole block.
+  bool corrupt = false;
+  std::size_t corrupt_offset = 0;
+  std::size_t corrupt_bytes = 0;
+  std::uint8_t corrupt_mask = 0xFF;
+
+  /// True when this spec can never return clean bytes to a caller that
+  /// retries at most `retries` times: permanently failing, failing longer
+  /// than the retry budget, or corrupting every success.
+  bool permanently_unreadable(std::size_t retries) const {
+    return fail_always || fail_reads > retries || corrupt;
+  }
+};
+
+class FaultInjectingSource : public BlockSource {
+ public:
+  /// Wraps `inner` (which must outlive this source) with no faults.
+  explicit FaultInjectingSource(BlockSource& inner)
+      : inner_(&inner),
+        specs_(inner.block_count()),
+        attempts_(inner.block_count(), 0) {}
+
+  std::size_t block_count() const override { return inner_->block_count(); }
+  std::size_t block_bytes() const override { return inner_->block_bytes(); }
+
+  /// Install the fault schedule for one block (replacing any previous).
+  void set_fault(std::size_t block, const FaultSpec& spec);
+
+  /// The active schedule for `block` (default spec when out of range).
+  const FaultSpec& fault(std::size_t block) const;
+
+  /// Probabilities for one seeded campaign roll. Each block draws at most
+  /// one fault class, tested in the order listed (permanent, transient,
+  /// corrupt, delay), so the sum may approach 1 without double-faulting.
+  struct CampaignOptions {
+    double fail_permanent = 0.0;   ///< dead block
+    double fail_transient = 0.0;   ///< 1..3 failed attempts, then clean
+    double corrupt = 0.0;          ///< random 1..16-byte torn range
+    double delay = 0.0;            ///< straggler of `delay_ns`
+    std::chrono::nanoseconds delay_ns{0};
+  };
+
+  /// Roll a FaultSpec for every block of `inner` from `rng`, skipping the
+  /// blocks listed in `exempt` (callers exempt the already-faulty blocks
+  /// a scenario erases — their loss is modeled by the scenario itself).
+  /// Deterministic: same rng state + options => same schedule.
+  void roll_campaign(const CampaignOptions& options, Rng& rng,
+                     const std::vector<std::size_t>& exempt = {});
+
+  ReadStatus read(std::size_t block, std::uint8_t* dst,
+                  std::size_t bytes) override;
+
+  // Injection counters (cumulative over the source's lifetime).
+  std::size_t reads_attempted() const { return reads_attempted_; }
+  std::size_t failures_injected() const { return failures_injected_; }
+  std::size_t corruptions_injected() const { return corruptions_injected_; }
+  std::size_t delays_injected() const { return delays_injected_; }
+
+ private:
+  BlockSource* inner_;
+  std::vector<FaultSpec> specs_;
+  std::vector<std::size_t> attempts_;  ///< per-block read-attempt count
+  std::size_t reads_attempted_ = 0;
+  std::size_t failures_injected_ = 0;
+  std::size_t corruptions_injected_ = 0;
+  std::size_t delays_injected_ = 0;
+};
+
+}  // namespace ppm::io

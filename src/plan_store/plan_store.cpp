@@ -327,32 +327,42 @@ std::string PlanStore::record_filename(const ErasureCode& code,
 }
 
 bool PlanStore::put(const ErasureCode& code, const FailureScenario& scenario,
-                    const CachedPlan& plan) {
+                    const CachedPlan& plan) try {
   const std::vector<std::uint8_t> bytes =
       serialize_plan(code, scenario, plan);
   const std::scoped_lock lock(mutex_);
   const std::filesystem::path target =
       dir_ / record_filename(code, scenario);
   const std::filesystem::path tmp = target.string() + ".tmp";
+  std::error_code ec;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) return false;
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
-    if (!out.good()) {
-      out.close();
-      std::error_code ec;
+    // Force the bytes out and re-check: a short write (disk full) must
+    // surface here, before the record can be published under its real
+    // name. A failed or partial .tmp is removed — readers never see it
+    // (load paths ignore .tmp) and gc() sweeps any crash leftovers.
+    out.flush();
+    const bool wrote = out.good();
+    out.close();
+    if (!wrote || out.fail()) {
       std::filesystem::remove(tmp, ec);
       return false;
     }
   }
-  std::error_code ec;
   std::filesystem::rename(tmp, target, ec);  // atomic publish
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return false;
   }
   return true;
+} catch (...) {
+  // put() sits on the decode path's write-through; serialization or
+  // filesystem surprises must degrade to "not persisted", never throw
+  // into a decode. The caller counts planstore.store_failures.
+  return false;
 }
 
 void PlanStore::quarantine(const std::filesystem::path& path) {

@@ -21,6 +21,7 @@
 #include "analysis/closed_form.h"
 #include "analyze_hazard/hazard.h"
 #include "codec/codec.h"
+#include "codec/resilient.h"
 #include "codec/update.h"
 #include "codes/coeff_search.h"
 #include "codes/crs_code.h"
@@ -35,6 +36,7 @@
 #include "codes/xorbas_lrc_code.h"
 #include "common/aligned_buffer.h"
 #include "common/cpu.h"
+#include "common/crc32.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/sharded_lru.h"
@@ -50,6 +52,8 @@
 #include "decode/traditional_decoder.h"
 #include "decode/xor_schedule.h"
 #include "gf/galois_field.h"
+#include "io/block_source.h"
+#include "io/fault_injection.h"
 #include "matrix/matrix.h"
 #include "matrix/solve.h"
 #include "parallel/task_group.h"

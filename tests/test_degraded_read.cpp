@@ -151,6 +151,52 @@ TEST(DegradedRead, CrsPacketRecovery) {
 }
 
 
+TEST(DegradedRead, TargetNotUnavailableIsDistinguished) {
+  // Asking for a block that is readable is a caller error, not a data-loss
+  // condition; the taxonomy must say so.
+  const LRCCode code(12, 3, 2, 8);
+  const DegradedReader reader(code);
+  DegradedReadError error = DegradedReadError::kInsufficientSurvivors;
+  const auto plan = reader.plan(5, FailureScenario({3}), &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_EQ(error, DegradedReadError::kTargetNotUnavailable);
+
+  Stripe stripe(code, 256);
+  test::fill_and_encode(code, stripe, 516);
+  error = DegradedReadError::kNone;
+  EXPECT_FALSE(reader.read(5, FailureScenario({3}), stripe.block_ptrs(), 256,
+                           nullptr, &error));
+  EXPECT_EQ(error, DegradedReadError::kTargetNotUnavailable);
+}
+
+TEST(DegradedRead, InsufficientSurvivorsIsDistinguished) {
+  // RS(4,2) cannot express block 0 when three blocks are unavailable:
+  // genuinely insufficient survivors, the fall-back-to-full-decode (or
+  // data-loss) class.
+  const RSCode code(4, 2, 8);
+  const DegradedReader reader(code);
+  DegradedReadError error = DegradedReadError::kNone;
+  const auto plan = reader.plan(0, FailureScenario({0, 1, 2}), &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_EQ(error, DegradedReadError::kInsufficientSurvivors);
+
+  Stripe stripe(code, 256);
+  test::fill_and_encode(code, stripe, 517);
+  error = DegradedReadError::kNone;
+  EXPECT_FALSE(reader.read(0, FailureScenario({0, 1, 2}),
+                           stripe.block_ptrs(), 256, nullptr, &error));
+  EXPECT_EQ(error, DegradedReadError::kInsufficientSurvivors);
+}
+
+TEST(DegradedRead, SuccessReportsNoError) {
+  const LRCCode code(12, 3, 2, 8);
+  const DegradedReader reader(code);
+  DegradedReadError error = DegradedReadError::kInsufficientSurvivors;
+  const auto plan = reader.plan(5, FailureScenario({5}), &error);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(error, DegradedReadError::kNone);
+}
+
 TEST(DegradedRead, BlocksReadStatTracksSurvivors) {
   const LRCCode code(12, 3, 2, 8);
   Stripe stripe(code, 256);

@@ -1,0 +1,221 @@
+// BlockSource adapters: the in-memory source and the fault injector.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/block_source.h"
+#include "io/fault_injection.h"
+
+namespace ppm::io {
+namespace {
+
+/// A 4-block, 64-byte in-memory fixture with distinct per-block bytes.
+class SourceFixture {
+ public:
+  static constexpr std::size_t kBlocks = 4;
+  static constexpr std::size_t kBytes = 64;
+
+  SourceFixture() {
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      data_[b].resize(kBytes);
+      for (std::size_t i = 0; i < kBytes; ++i) {
+        data_[b][i] = static_cast<std::uint8_t>(b * 100 + i);
+      }
+      ptrs_[b] = data_[b].data();
+    }
+  }
+
+  MemoryBlockSource make() const {
+    return MemoryBlockSource(ptrs_.data(), kBlocks, kBytes);
+  }
+
+  const std::uint8_t* block(std::size_t b) const { return data_[b].data(); }
+
+ private:
+  std::array<std::vector<std::uint8_t>, kBlocks> data_;
+  std::array<const std::uint8_t*, kBlocks> ptrs_;
+};
+
+TEST(MemorySource, ReadsCopyBackingBytes) {
+  const SourceFixture fx;
+  MemoryBlockSource src = fx.make();
+  EXPECT_EQ(src.block_count(), SourceFixture::kBlocks);
+  EXPECT_EQ(src.block_bytes(), SourceFixture::kBytes);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes, 0);
+  for (std::size_t b = 0; b < SourceFixture::kBlocks; ++b) {
+    ASSERT_EQ(src.read(b, dst.data(), dst.size()), ReadStatus::kOk);
+    EXPECT_EQ(std::memcmp(dst.data(), fx.block(b), dst.size()), 0);
+  }
+}
+
+TEST(MemorySource, PrefixReadCopiesPrefixOnly) {
+  const SourceFixture fx;
+  MemoryBlockSource src = fx.make();
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes, 0xAA);
+  ASSERT_EQ(src.read(1, dst.data(), 16), ReadStatus::kOk);
+  EXPECT_EQ(std::memcmp(dst.data(), fx.block(1), 16), 0);
+  for (std::size_t i = 16; i < dst.size(); ++i) EXPECT_EQ(dst[i], 0xAA);
+}
+
+TEST(MemorySource, OutOfRangeReadsFail) {
+  const SourceFixture fx;
+  MemoryBlockSource src = fx.make();
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  EXPECT_EQ(src.read(SourceFixture::kBlocks, dst.data(), dst.size()),
+            ReadStatus::kFailed);
+  EXPECT_EQ(src.read(0, dst.data(), SourceFixture::kBytes + 1),
+            ReadStatus::kFailed);
+  EXPECT_EQ(src.read(0, nullptr, SourceFixture::kBytes),
+            ReadStatus::kFailed);
+}
+
+TEST(FaultInjection, HealthyByDefault) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  for (std::size_t b = 0; b < SourceFixture::kBlocks; ++b) {
+    ASSERT_EQ(src.read(b, dst.data(), dst.size()), ReadStatus::kOk);
+    EXPECT_EQ(std::memcmp(dst.data(), fx.block(b), dst.size()), 0);
+  }
+  EXPECT_EQ(src.reads_attempted(), SourceFixture::kBlocks);
+  EXPECT_EQ(src.failures_injected(), 0u);
+  EXPECT_EQ(src.corruptions_injected(), 0u);
+}
+
+TEST(FaultInjection, PermanentFailureFailsEveryAttempt) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  FaultSpec spec;
+  spec.fail_always = true;
+  src.set_fault(2, spec);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(src.read(2, dst.data(), dst.size()), ReadStatus::kFailed);
+  }
+  EXPECT_EQ(src.failures_injected(), 5u);
+  EXPECT_TRUE(spec.permanently_unreadable(100));
+  // Other blocks are untouched.
+  EXPECT_EQ(src.read(0, dst.data(), dst.size()), ReadStatus::kOk);
+}
+
+TEST(FaultInjection, TransientFailureRecoversAfterN) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  FaultSpec spec;
+  spec.fail_reads = 2;
+  src.set_fault(1, spec);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  EXPECT_EQ(src.read(1, dst.data(), dst.size()), ReadStatus::kFailed);
+  EXPECT_EQ(src.read(1, dst.data(), dst.size()), ReadStatus::kFailed);
+  ASSERT_EQ(src.read(1, dst.data(), dst.size()), ReadStatus::kOk);
+  EXPECT_EQ(std::memcmp(dst.data(), fx.block(1), dst.size()), 0);
+  EXPECT_FALSE(spec.permanently_unreadable(2));
+  EXPECT_TRUE(spec.permanently_unreadable(1));
+}
+
+TEST(FaultInjection, SetFaultResetsAttemptCounter) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  FaultSpec spec;
+  spec.fail_reads = 1;
+  src.set_fault(0, spec);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  EXPECT_EQ(src.read(0, dst.data(), dst.size()), ReadStatus::kFailed);
+  EXPECT_EQ(src.read(0, dst.data(), dst.size()), ReadStatus::kOk);
+  src.set_fault(0, spec);  // re-arm: attempt count restarts
+  EXPECT_EQ(src.read(0, dst.data(), dst.size()), ReadStatus::kFailed);
+}
+
+TEST(FaultInjection, CorruptionFlipsExactRange) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  FaultSpec spec;
+  spec.corrupt = true;
+  spec.corrupt_offset = 8;
+  spec.corrupt_bytes = 4;
+  spec.corrupt_mask = 0x5A;
+  src.set_fault(3, spec);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  ASSERT_EQ(src.read(3, dst.data(), dst.size()), ReadStatus::kOk);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t want = i >= 8 && i < 12
+                                  ? static_cast<std::uint8_t>(
+                                        fx.block(3)[i] ^ 0x5A)
+                                  : fx.block(3)[i];
+    EXPECT_EQ(dst[i], want) << "byte " << i;
+  }
+  EXPECT_EQ(src.corruptions_injected(), 1u);
+  EXPECT_TRUE(spec.permanently_unreadable(0));
+}
+
+TEST(FaultInjection, ZeroMaskStillCorrupts) {
+  const SourceFixture fx;
+  MemoryBlockSource inner = fx.make();
+  FaultInjectingSource src(inner);
+  FaultSpec spec;
+  spec.corrupt = true;
+  spec.corrupt_mask = 0;  // promoted to 0xFF: a corrupting spec corrupts
+  src.set_fault(0, spec);
+  std::vector<std::uint8_t> dst(SourceFixture::kBytes);
+  ASSERT_EQ(src.read(0, dst.data(), dst.size()), ReadStatus::kOk);
+  EXPECT_NE(std::memcmp(dst.data(), fx.block(0), dst.size()), 0);
+}
+
+TEST(FaultInjection, CampaignIsDeterministicFromSeed) {
+  const SourceFixture fx;
+  MemoryBlockSource inner_a = fx.make();
+  MemoryBlockSource inner_b = fx.make();
+  FaultInjectingSource a(inner_a);
+  FaultInjectingSource b(inner_b);
+  FaultInjectingSource::CampaignOptions options;
+  options.fail_permanent = 0.25;
+  options.fail_transient = 0.25;
+  options.corrupt = 0.25;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  a.roll_campaign(options, rng_a);
+  b.roll_campaign(options, rng_b);
+  for (std::size_t blk = 0; blk < SourceFixture::kBlocks; ++blk) {
+    const FaultSpec& fa = a.fault(blk);
+    const FaultSpec& fb = b.fault(blk);
+    EXPECT_EQ(fa.fail_always, fb.fail_always);
+    EXPECT_EQ(fa.fail_reads, fb.fail_reads);
+    EXPECT_EQ(fa.corrupt, fb.corrupt);
+    EXPECT_EQ(fa.corrupt_offset, fb.corrupt_offset);
+    EXPECT_EQ(fa.corrupt_bytes, fb.corrupt_bytes);
+  }
+}
+
+TEST(FaultInjection, ExemptBlocksStayHealthyWithoutShiftingOthers) {
+  const SourceFixture fx;
+  MemoryBlockSource inner_a = fx.make();
+  MemoryBlockSource inner_b = fx.make();
+  FaultInjectingSource all(inner_a);
+  FaultInjectingSource some(inner_b);
+  FaultInjectingSource::CampaignOptions options;
+  options.fail_permanent = 0.5;
+  options.fail_transient = 0.5;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  all.roll_campaign(options, rng_a);
+  some.roll_campaign(options, rng_b, {1});
+  // Block 1 is exempt: healthy spec regardless of the roll.
+  EXPECT_FALSE(some.fault(1).fail_always);
+  EXPECT_EQ(some.fault(1).fail_reads, 0u);
+  // Every other block drew the same spec as the exemption-free roll.
+  for (const std::size_t blk : {std::size_t{0}, std::size_t{2},
+                                std::size_t{3}}) {
+    EXPECT_EQ(some.fault(blk).fail_always, all.fault(blk).fail_always);
+    EXPECT_EQ(some.fault(blk).fail_reads, all.fault(blk).fail_reads);
+  }
+}
+
+}  // namespace
+}  // namespace ppm::io

@@ -314,6 +314,71 @@ TEST(PlanStore, FutureFormatVersionIsQuarantined) {
   EXPECT_TRUE(fs::exists(record.string() + ".quarantined"));
 }
 
+TEST(PlanStore, PutReportsFailureWhenTmpPathUnwritable) {
+  // Plant a directory at the .tmp staging path: the serialized write cannot
+  // even open. put() must report false and leave no record behind. (A
+  // directory blocks root too, unlike permission bits.)
+  const SDCode code = test_code();
+  const StoreDir dir("put_tmp_blocked");
+  planstore::PlanStore store(dir.path());
+  Codec codec(code);
+  const FailureScenario sc = disk_failure(code, 0);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  fs::create_directories(record.string() + ".tmp");
+
+  EXPECT_FALSE(store.put(code, sc, *plan));
+  EXPECT_FALSE(fs::exists(record));
+}
+
+TEST(PlanStore, PutReportsFailureWhenPublishBlockedAndRemovesTmp) {
+  // Plant a directory at the target .plan path: the write succeeds but the
+  // atomic rename cannot publish. put() must report false and must not
+  // leak the staged .tmp file.
+  const SDCode code = test_code();
+  const StoreDir dir("put_publish_blocked");
+  planstore::PlanStore store(dir.path());
+  Codec codec(code);
+  const FailureScenario sc = disk_failure(code, 1);
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  fs::create_directories(record);
+
+  EXPECT_FALSE(store.put(code, sc, *plan));
+  EXPECT_TRUE(fs::is_directory(record));  // untouched
+  EXPECT_FALSE(fs::exists(record.string() + ".tmp"));
+}
+
+TEST(PlanStore, CodecCountsStoreFailureAndStillDecodes) {
+  // Write-through durability is best-effort: when put() fails the decode
+  // path must proceed untroubled, and the failure must surface as the
+  // planstore.store_failures counter rather than an exception.
+  const SDCode code = test_code();
+  const StoreDir dir("put_counter");
+  const FailureScenario sc = disk_failure(code, 2);
+
+  Codec codec(code);
+  codec.attach_store(dir.path().string());
+  const fs::path record =
+      dir.path() / planstore::PlanStore::record_filename(code, sc);
+  fs::create_directories(record.string() + ".tmp");
+
+  const auto plan = codec.plan_for(sc);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(codec.metrics().planstore_stores.value(), 0u);
+  EXPECT_EQ(codec.metrics().planstore_store_failures.value(), 1u);
+  expect_plan_decodes(code, sc, *plan);
+
+  const std::string json = codec.metrics().to_json();
+  EXPECT_NE(json.find("\"store_failures\":1"), std::string::npos);
+}
+
 TEST(PlanStore, CheckReportsAndGcRemovesQuarantined) {
   const SDCode code = test_code();
   const StoreDir dir("check_gc");

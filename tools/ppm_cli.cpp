@@ -13,6 +13,10 @@
 //   ppm_cli store {build|ls|check|gc} --dir <dir>  persistent plan store:
 //                    [--code <family> [params]] [--sweep <disks>]
 //                    build/list/re-verify/garbage-collect plan records
+//   ppm_cli chaos    --code <family> [params]      seeded fault-injection
+//                    [--sweep <disks>] [--seed S] [--rounds R]   campaign
+//                    [--permanent P] [--transient P] [--corrupt P]   against
+//                    [--straggle P] [--retries N]   the resilient pipeline
 //
 // Families and their parameters (defaults in parentheses):
 //   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
@@ -25,13 +29,16 @@
 // (family worst case) — number of whole-disk failures for the generic
 // generator.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "ppm.h"
 
@@ -581,6 +588,203 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
   return 0;
 }
 
+// Seeded chaos campaign against the resilient decode pipeline
+// (docs/ROBUSTNESS.md):
+//
+//   ppm_cli chaos --code <family> [params] [--sweep N|--scenario 1,5]
+//           [--seed S] [--rounds R] [--permanent P] [--transient P]
+//           [--corrupt P] [--straggle P] [--retries N]
+//
+// For every selected scenario, `--rounds` independent fault campaigns are
+// rolled from the seed (probabilities are percentages per survivor block)
+// and decode_resilient runs against the faulted source with per-block CRC
+// digests. Every run is then checked against an independent expectation:
+//
+//   * if the scenario plus every permanently unreadable survivor is still
+//     decodable, the run must end complete and byte-identical;
+//   * any incomplete run's recovered set must equal exactly the
+//     independent O1 groups (and, when all groups solved, H_rest) whose
+//     survivors are readable, and those blocks must be byte-identical.
+//
+// Outcome histogram JSON on stdout; exit 1 on any expectation failure.
+// Deterministic from --seed: rerunning reproduces every fault and every
+// outcome bit-for-bit.
+int cmd_chaos(const ErasureCode& code, const Args& args) {
+  const std::size_t block = args.get("block", 4096);
+  const std::size_t rounds = args.get("rounds", 3);
+  const std::size_t retries = args.get("retries", 3);
+  io::FaultInjectingSource::CampaignOptions campaign;
+  campaign.fail_permanent =
+      static_cast<double>(args.get("permanent", 8)) / 100.0;
+  campaign.fail_transient =
+      static_cast<double>(args.get("transient", 12)) / 100.0;
+  campaign.corrupt = static_cast<double>(args.get("corrupt", 8)) / 100.0;
+  campaign.delay = static_cast<double>(args.get("straggle", 0)) / 100.0;
+  campaign.delay_ns = std::chrono::microseconds{100};
+
+  // One reference stripe: encode once, snapshot, digest per block.
+  Stripe stripe(code, block);
+  Rng fill_rng(args.get("seed", 1) + 17);
+  stripe.fill_data(fill_rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(stripe.block_ptrs(), block)) return 1;
+  const auto snap = stripe.snapshot();
+  const std::size_t total = code.total_blocks();
+  std::vector<const std::uint8_t*> backing(total);
+  std::vector<std::uint32_t> digests(total);
+  for (std::size_t b = 0; b < total; ++b) {
+    backing[b] = snap.data() + b * block;
+    digests[b] = crc32(backing[b], block);
+  }
+  const auto restore = [&] {
+    for (std::size_t b = 0; b < total; ++b) {
+      std::memcpy(stripe.block(b), backing[b], block);
+    }
+  };
+
+  Codec codec(code);
+  ResilienceOptions ropt;
+  ropt.max_read_retries = retries;
+  Rng rng(args.get("seed", 1));
+
+  std::size_t runs = 0;
+  std::size_t complete = 0;
+  std::size_t partial = 0;
+  std::size_t none = 0;  // incomplete with nothing recovered
+  std::size_t verify_failures = 0;
+  std::size_t retries_sum = 0;
+  std::size_t escalations_sum = 0;
+  std::size_t corruption_sum = 0;
+  std::size_t failures_injected = 0;
+  std::size_t corruptions_injected = 0;
+
+  const auto mirror_partial_expectation =
+      [&](const FailureScenario& final_sc,
+          const io::FaultInjectingSource& source) {
+        // Independent recomputation of what partial recovery must achieve:
+        // walk the O1 decomposition of the final faulty set and keep every
+        // group whose system is solvable and whose survivors the fault
+        // schedule lets through; H_rest joins only once every group did.
+        const Matrix& h = code.parity_check();
+        const LogTable table = LogTable::build(h, final_sc.faulty());
+        const Partition part = make_partition(h, table);
+        std::vector<std::size_t> expected;
+        const auto readable = [&](std::span<const std::size_t> survivors) {
+          for (const std::size_t s : survivors) {
+            if (std::binary_search(expected.begin(), expected.end(), s)) {
+              continue;  // recovered by an earlier group: in-buffer
+            }
+            if (source.fault(s).permanently_unreadable(retries)) return false;
+          }
+          return true;
+        };
+        for (const IndependentGroup& g : part.groups) {
+          const auto sub = SubPlan::make(h, g.rows, g.faulty_cols,
+                                         final_sc.faulty(),
+                                         Sequence::kMatrixFirst);
+          if (!sub.has_value() || !readable(sub->survivors())) continue;
+          for (const std::size_t b : g.faulty_cols) {
+            expected.insert(
+                std::upper_bound(expected.begin(), expected.end(), b), b);
+          }
+        }
+        if (!part.rest_empty() &&
+            expected.size() + part.rest_faulty.size() ==
+                final_sc.count()) {
+          const auto sub = SubPlan::make(h, part.rest_rows, part.rest_faulty,
+                                         part.rest_faulty,
+                                         Sequence::kMatrixFirst);
+          if (sub.has_value() && readable(sub->survivors())) {
+            for (const std::size_t b : part.rest_faulty) {
+              expected.insert(
+                  std::upper_bound(expected.begin(), expected.end(), b), b);
+            }
+          }
+        }
+        return expected;
+      };
+
+  for_each_selected_scenario(code, args, [&](const FailureScenario& sc) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      restore();
+      stripe.erase(sc);
+      io::MemoryBlockSource inner(backing.data(), total, block);
+      io::FaultInjectingSource source(inner);
+      const std::vector<std::size_t> exempt(sc.faulty().begin(),
+                                            sc.faulty().end());
+      source.roll_campaign(campaign, rng, exempt);
+
+      const auto out = codec.decode_resilient(sc, source, stripe.block_ptrs(),
+                                              block, ropt, digests);
+      ++runs;
+      retries_sum += out.retries;
+      escalations_sum += out.escalations;
+      corruption_sum += out.corruption_detected;
+      failures_injected += source.failures_injected();
+      corruptions_injected += source.corruptions_injected();
+
+      const auto flag = [&](const char* what) {
+        ++verify_failures;
+        std::fprintf(stderr, "VERIFY FAIL: scenario [%s] round %zu: %s\n",
+                     scenario_ids(sc).c_str(), round, what);
+      };
+
+      // Worst-case escalated set: the scenario plus every survivor the
+      // schedule makes permanently unreadable under this retry budget.
+      std::vector<std::size_t> worst(sc.faulty().begin(), sc.faulty().end());
+      for (std::size_t b = 0; b < total; ++b) {
+        if (!sc.contains(b) &&
+            source.fault(b).permanently_unreadable(retries)) {
+          worst.push_back(b);
+        }
+      }
+      const FailureScenario worst_sc(worst);
+      const bool worst_decodable =
+          worst_sc.count() <= code.check_rows() &&
+          codec.plan_for(worst_sc) != nullptr;
+
+      if (out.complete) {
+        ++complete;
+        if (!stripe.equals(snap)) flag("complete but not byte-identical");
+        const auto final_faulty = out.final_scenario.faulty();
+        if (out.recovered !=
+            std::vector<std::size_t>(final_faulty.begin(),
+                                     final_faulty.end())) {
+          flag("complete but recovered != final faulty set");
+        }
+      } else {
+        if (worst_decodable) {
+          flag("within-capability scenario did not recover completely");
+        }
+        const auto expected =
+            mirror_partial_expectation(out.final_scenario, source);
+        if (out.recovered != expected) {
+          flag("recovered set != independent groups with intact inputs");
+        }
+        if (!stripe.blocks_equal(snap, out.recovered)) {
+          flag("partially recovered blocks not byte-identical");
+        }
+        ++(out.recovered.empty() ? none : partial);
+      }
+    }
+  });
+
+  std::fprintf(stderr,
+               "%s: %zu chaos run(s): %zu complete, %zu partial, %zu "
+               "unrecovered, %zu verify failure(s)\n",
+               code.name().c_str(), runs, complete, partial, none,
+               verify_failures);
+  std::printf(
+      "{\"code\":\"%s\",\"runs\":%zu,\"outcomes\":{\"complete\":%zu,"
+      "\"partial\":%zu,\"none\":%zu},\"verify_failures\":%zu,"
+      "\"retries\":%zu,\"escalations\":%zu,\"corruption_detected\":%zu,"
+      "\"injected\":{\"read_failures\":%zu,\"corruptions\":%zu}}\n",
+      code.name().c_str(), runs, complete, partial, none, verify_failures,
+      retries_sum, escalations_sum, corruption_sum, failures_injected,
+      corruptions_injected);
+  return verify_failures == 0 ? 0 : 1;
+}
+
 int cmd_selftest(const ErasureCode& code, const Args& args) {
   const std::size_t block = args.get("block", 65536);
   ScenarioGenerator gen(args.get("seed", 1));
@@ -719,11 +923,14 @@ int main(int argc, char** argv) {
   if (args.command.empty()) {
     std::fprintf(stderr,
                  "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
-                 "analyze|store} "
+                 "analyze|store|chaos} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
                  "[params]\n"
-                 "       %s store {build|ls|check|gc} --dir <dir> [params]\n",
-                 argv[0], argv[0]);
+                 "       %s store {build|ls|check|gc} --dir <dir> [params]\n"
+                 "       %s chaos --code <family> [--sweep N] [--seed S] "
+                 "[--rounds R] [--permanent P] [--transient P] [--corrupt P] "
+                 "[--straggle P] [--retries N]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
@@ -737,6 +944,7 @@ int main(int argc, char** argv) {
     if (args.command == "verify") return cmd_verify(*code, args);
     if (args.command == "analyze") return cmd_analyze(*code, args);
     if (args.command == "store") return cmd_store(*code, args);
+    if (args.command == "chaos") return cmd_chaos(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -13,7 +13,11 @@
 //     hazard-free (ppm::hazard) with a sane parallelism profile
 //     (critical path <= total work, speedup bound >= 1);
 //   * every decodable plan survives a plan-store round trip: serialize →
-//     deserialize → planverify + hazard re-proof → byte-identical decode.
+//     deserialize → planverify + hazard re-proof → byte-identical decode;
+//   * a silently corrupted surviving block served through a fault-injecting
+//     source is always caught by the resilient pipeline's CRC digests
+//     (corruption_detected), and any claimed complete recovery is
+//     byte-identical.
 //
 //   ./ppm_fuzz [seconds] [seed]     (defaults: 10 seconds, seed 1 —
 //                                    deterministic for reproducibility)
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   std::size_t verified_plans = 0;
   std::size_t verified_schedules = 0;
   std::size_t round_trips = 0;
+  std::size_t corruption_drills = 0;
   while (clock.seconds() < budget) {
     ++trials;
 
@@ -244,6 +249,68 @@ int main(int argc, char** argv) {
         return 1;
       }
       ++round_trips;
+
+      // Corruption drill: serve the stripe through a fault-injecting
+      // source that silently flips bytes in one surviving block. With
+      // per-block digests the resilient pipeline must notice (CRC
+      // mismatch -> corruption_detected) and, whenever it claims complete
+      // recovery, still produce the original bytes.
+      {
+        // Victim pool: survivors the plan actually reads — a block no
+        // sub-plan touches is never fetched, so its corruption is
+        // invisible by design (scrubbing, not decoding, owns that case).
+        std::vector<std::size_t> read_set;
+        const auto collect = [&](const SubPlan& sub) {
+          for (const std::size_t s : sub.survivors()) {
+            if (!sc.contains(s) &&
+                std::find(read_set.begin(), read_set.end(), s) ==
+                    read_set.end()) {
+              read_set.push_back(s);
+            }
+          }
+        };
+        for (const SubPlan& sub : plan->groups()) collect(sub);
+        if (plan->rest().has_value()) collect(*plan->rest());
+        if (read_set.empty()) continue;
+        const std::size_t victim =
+            read_set[rng.bounded(read_set.size())];
+        std::vector<const std::uint8_t*> backing(code->total_blocks());
+        std::vector<std::uint32_t> digests(code->total_blocks());
+        for (std::size_t b = 0; b < code->total_blocks(); ++b) {
+          backing[b] = snap.data() + b * block;
+          digests[b] = crc32(backing[b], block);
+        }
+        io::MemoryBlockSource mem(backing.data(), code->total_blocks(),
+                                  block);
+        io::FaultInjectingSource source(mem);
+        io::FaultSpec spec;
+        spec.corrupt = true;
+        spec.corrupt_offset = rng.bounded(block);
+        spec.corrupt_bytes =
+            1 + rng.bounded(std::min<std::size_t>(8, block -
+                                                     spec.corrupt_offset));
+        source.set_fault(victim, spec);
+
+        stripe.erase(sc);
+        const auto out = codec.decode_resilient(sc, source,
+                                                stripe.block_ptrs(), block,
+                                                {}, digests);
+        if (out.corruption_detected == 0) {
+          std::fprintf(stderr,
+                       "FUZZ FAIL (silent corruption undetected): %s "
+                       "block %zu\n",
+                       code->name().c_str(), victim);
+          return 1;
+        }
+        if (out.complete && !stripe.equals(snap)) {
+          std::fprintf(stderr,
+                       "FUZZ FAIL (corruption drill bytes): %s block %zu\n",
+                       code->name().c_str(), victim);
+          return 1;
+        }
+        ++corruption_drills;
+        std::memcpy(stripe.block(0), snap.data(), snap.size());
+      }
     } else {
       ++rejected;
       std::memcpy(stripe.block(0), snap.data(), snap.size());
@@ -251,8 +318,8 @@ int main(int argc, char** argv) {
   }
   std::printf("ppm_fuzz: %zu trials in %.1fs (%zu decodable, %zu beyond "
               "tolerance), %zu plans + %zu XOR schedules verifier-clean, "
-              "%zu store round trips, 0 failures\n",
+              "%zu store round trips, %zu corruption drills, 0 failures\n",
               trials, clock.seconds(), decodable, rejected, verified_plans,
-              verified_schedules, round_trips);
+              verified_schedules, round_trips, corruption_drills);
   return 0;
 }
