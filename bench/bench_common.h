@@ -72,6 +72,13 @@ struct ComparisonPoint {
   std::size_t ppm_ops = 0;     ///< PPM mult_XORs (min(C3, C4))
   std::size_t redraws = 0;     ///< undecodable scenario redraws
 
+  // Group-phase makespans (median over reps, measured task times): the
+  // executed LPT placement, the Algorithm-1 i mod T counterfactual on the
+  // same tasks, and the analyzer's critical-path floor (heaviest task).
+  double placed_makespan_seconds = 0;
+  double roundrobin_makespan_seconds = 0;
+  double critical_path_seconds = 0;
+
   // Improvements from per-repetition ratios: each repetition measures the
   // two decoders back to back, so slow drift of the (virtualized) host
   // cancels instead of landing in the comparison.
@@ -119,6 +126,9 @@ inline ComparisonPoint compare_sd(const ErasureCode& code, std::size_t m,
   std::vector<double> t_model;
   std::vector<double> r_wall;
   std::vector<double> r_model;
+  std::vector<double> t_placed;
+  std::vector<double> t_rrobin;
+  std::vector<double> t_cpath;
   for (std::size_t rep = 0; rep < reps(); ++rep) {
     stripe.erase(g.scenario);
     const auto tr = trad.decode(g.scenario, stripe.block_ptrs(), block_bytes,
@@ -139,6 +149,9 @@ inline ComparisonPoint compare_sd(const ErasureCode& code, std::size_t m,
     t_model.push_back(model);
     r_wall.push_back(tr->seconds / pr->seconds);
     r_model.push_back(tr->seconds / model);
+    t_placed.push_back(pr->placed_makespan_seconds());
+    t_rrobin.push_back(pr->round_robin_makespan_seconds(threads));
+    t_cpath.push_back(pr->critical_path_seconds());
     point.p = pr->p;
     point.ppm_ops = pr->stats.mult_xors;
   }
@@ -152,6 +165,9 @@ inline ComparisonPoint compare_sd(const ErasureCode& code, std::size_t m,
   point.ppm_model_seconds = median(std::move(t_model));
   point.wall_ratio = median(std::move(r_wall));
   point.model_ratio = median(std::move(r_model));
+  point.placed_makespan_seconds = median(std::move(t_placed));
+  point.roundrobin_makespan_seconds = median(std::move(t_rrobin));
+  point.critical_path_seconds = median(std::move(t_cpath));
   return point;
 }
 

@@ -8,6 +8,7 @@
 // which isolates PPM's cost-reduction benefit (its T=1 row is the paper's
 // "PPM without parallelism" observation from §III-B).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -24,6 +25,7 @@ int main() {
   double two_thread_lo = 1e9;
   double two_thread_hi = -1e9;
   std::size_t two_thread_count = 0;
+  std::string sched_json;  // per-point placed/roundrobin/critical-path
 
   for (const std::size_t m : {1u, 2u, 3u}) {
     for (const std::size_t s : {1u, 2u, 3u}) {
@@ -42,6 +44,18 @@ int main() {
           std::printf("%4zu %3u  %11.2f%% %11.2f%%  %6zu\n", n, t,
                       100 * pt.modeled_improvement(),
                       100 * pt.measured_improvement(), pt.p);
+          if (t >= 2) {
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s{\"m\":%zu,\"s\":%zu,\"n\":%zu,\"t\":%u,\"p\":%zu,"
+                "\"placed_s\":%.6e,\"roundrobin_s\":%.6e,"
+                "\"critical_path_s\":%.6e}",
+                sched_json.empty() ? "" : ",", m, s, n, t, pt.p,
+                pt.placed_makespan_seconds, pt.roundrobin_makespan_seconds,
+                pt.critical_path_seconds);
+            sched_json += buf;
+          }
           if (t == 2) {
             const double impr = pt.modeled_improvement();
             two_thread_sum += impr;
@@ -59,5 +73,10 @@ int main() {
               100 * two_thread_sum / two_thread_count, 100 * two_thread_lo,
               100 * two_thread_hi);
   std::printf("(paper, two threads: avg=46.29%%, range=[8.45%%, 178.38%%])\n");
+  // Machine-readable schedule comparison: the executed LPT makespan vs.
+  // the Algorithm-1 round-robin counterfactual vs. the analyzer's
+  // critical-path floor, per (m, s, n, T >= 2) point.
+  std::printf("{\"bench\":\"fig7_schedule\",\"points\":[%s]}\n",
+              sched_json.c_str());
   return 0;
 }

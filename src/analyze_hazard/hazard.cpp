@@ -168,6 +168,62 @@ Analysis analyze(const HazardGraph& graph) {
 
 namespace {
 
+Placement empty_placement(std::size_t units, unsigned lanes) {
+  Placement placed;
+  placed.lanes = std::max(1u, lanes);
+  if (units != 0) {
+    placed.lanes = static_cast<unsigned>(
+        std::min<std::size_t>(placed.lanes, units));
+  }
+  placed.lane_of.assign(units, 0);
+  placed.lane_units.resize(placed.lanes);
+  placed.lane_work.assign(placed.lanes, 0);
+  return placed;
+}
+
+}  // namespace
+
+Placement place_lpt(std::span<const std::size_t> work, unsigned lanes) {
+  Placement placed = empty_placement(work.size(), lanes);
+  // Descending work, index ascending on ties — fully deterministic.
+  std::vector<std::size_t> order(work.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (work[a] != work[b]) return work[a] > work[b];
+    return a < b;
+  });
+  for (const std::size_t u : order) {
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < placed.lane_work.size(); ++l) {
+      if (placed.lane_work[l] < placed.lane_work[lane]) lane = l;
+    }
+    placed.lane_of[u] = static_cast<unsigned>(lane);
+    placed.lane_units[lane].push_back(u);
+    placed.lane_work[lane] += work[u];
+  }
+  for (const std::size_t w : placed.lane_work) {
+    placed.makespan = std::max(placed.makespan, w);
+  }
+  return placed;
+}
+
+Placement place_round_robin(std::span<const std::size_t> work,
+                            unsigned lanes) {
+  Placement placed = empty_placement(work.size(), lanes);
+  for (std::size_t u = 0; u < work.size(); ++u) {
+    const std::size_t lane = u % placed.lanes;
+    placed.lane_of[u] = static_cast<unsigned>(lane);
+    placed.lane_units[lane].push_back(u);
+    placed.lane_work[lane] += work[u];
+  }
+  for (const std::size_t w : placed.lane_work) {
+    placed.makespan = std::max(placed.makespan, w);
+  }
+  return placed;
+}
+
+namespace {
+
 Unit unit_of_subplan(const SubPlan& sub, std::string label) {
   Unit unit;
   unit.label = std::move(label);
@@ -242,7 +298,7 @@ HazardGraph graph_of_schedule(const XorSchedule& schedule, std::size_t rows,
     graph.units[t].writes.push_back(Access{cols + t, 0, kRangeEnd});
   }
   for (const XorOp& op : schedule.ops) {
-    if (op.target >= rows) continue;  // verifier's kXorIndexOutOfBounds
+    if (op.target >= rows) continue;  // analyze_schedule reports these
     Unit& unit = graph.units[op.target];
     ++unit.work;
     if (op.from_output) {
@@ -306,12 +362,28 @@ Analysis analyze_slices(const SubPlan& plan,
 Analysis analyze_schedule(const XorSchedule& schedule, const Matrix& g) {
   const std::size_t rows = g.rows();
   Analysis result = analyze(graph_of_schedule(schedule, rows, g.cols()));
-  // Finalized-before-start: a from_output source must be completely
-  // written before the consuming unit's first op, not merely before the
-  // reading op — unit-concurrent executors start a target as one piece.
-  const std::vector<TargetSpan> spans = target_spans(schedule, rows);
+  // Out-of-range indices are a malformed schedule: such an op belongs to
+  // no unit, so graph_of_schedule drops it from the DAG — which must be
+  // reported, not silent, or the analysis would certify a program it
+  // never saw in full.
+  std::vector<std::size_t> out_of_range;
+  const std::vector<TargetSpan> spans =
+      target_spans(schedule, rows, &out_of_range);
+  for (const std::size_t i : out_of_range) {
+    report(result.violations, ViolationKind::kXorIndexOutOfBounds, kNoIndex,
+           i,
+           "op " + size_str(i) + " targets row " +
+               size_str(schedule.ops[i].target) + " of a " + size_str(rows) +
+               "-row system; the op belongs to no execution unit");
+  }
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
     const XorOp& op = schedule.ops[i];
+    if (op.from_output && op.target < rows && op.source >= rows) {
+      report(result.violations, ViolationKind::kXorIndexOutOfBounds,
+             op.target, i,
+             "op " + size_str(i) + " reads target " + size_str(op.source) +
+                 " of a " + size_str(rows) + "-row system");
+    }
     if (!op.from_output || op.target >= rows || op.source >= rows ||
         op.source == op.target) {
       continue;

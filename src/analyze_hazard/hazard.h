@@ -112,6 +112,35 @@ struct Analysis {
 /// path and width profile of an explicit graph.
 Analysis analyze(const HazardGraph& graph);
 
+/// A lane assignment of mutually independent execution units: which lane
+/// each unit runs on, each lane's dispatch order and total work, and the
+/// resulting makespan (all work in the same mult_XOR units the DAG
+/// carries). Produced by the placers below; consumed by PpmDecoder's
+/// group fan-out and reported by `ppm_cli analyze`.
+struct Placement {
+  unsigned lanes = 0;
+  std::vector<unsigned> lane_of;  ///< unit index -> lane index
+  /// Units per lane in dispatch order (LPT: heaviest first within a lane).
+  std::vector<std::vector<std::size_t>> lane_units;
+  std::vector<std::size_t> lane_work;  ///< Σ unit work per lane
+  std::size_t makespan = 0;            ///< max over lane_work
+};
+
+/// LPT (longest-processing-time-first) list scheduling: units sorted by
+/// descending work, each placed on the currently least-loaded lane.
+/// Deterministic — ties broken by lower unit index, then lower lane
+/// index — and within Graham's bound of optimal:
+/// makespan <= Σwork/lanes + max(work). `lanes` of 0 is treated as 1 and
+/// is never raised above the unit count (no empty lanes are created when
+/// units < lanes).
+Placement place_lpt(std::span<const std::size_t> work, unsigned lanes);
+
+/// The paper's Algorithm-1 static assignment (unit i -> lane i mod
+/// lanes), kept as the baseline the placer is measured against. Same
+/// lane-count clamping as place_lpt.
+Placement place_round_robin(std::span<const std::size_t> work,
+                            unsigned lanes);
+
 /// Lower PPM's two-phase execution to a graph: every group sub-plan is a
 /// root unit (mutually unordered — the TaskGroup fan-out), and `rest`,
 /// when present, is a unit ordered after every group. Reads/writes are
@@ -152,7 +181,9 @@ Analysis analyze_slices(const SubPlan& plan,
 /// every from_output read (`unordered_from_output_use`) — stricter than
 /// the serial read-before-final rule of verify_xor_schedule, because a
 /// unit-concurrent executor may start a target as soon as its
-/// dependencies finish.
+/// dependencies finish. Ops whose target (or from_output source) falls
+/// outside the matrix are a malformed schedule and are reported as
+/// `xor_index_out_of_bounds` rather than silently dropped from the DAG.
 Analysis analyze_schedule(const XorSchedule& schedule, const Matrix& g);
 
 }  // namespace hazard

@@ -35,6 +35,42 @@ void CachedPlan::execute(std::uint8_t* const* blocks, std::size_t block_bytes,
   if (rest_plan_.has_value()) rest_plan_->execute(blocks, block_bytes, stats);
 }
 
+bool CachedPlan::execute_placed(std::uint8_t* const* blocks,
+                                std::size_t block_bytes, ThreadPool& pool,
+                                unsigned lanes, DecodeStats* stats) const {
+  if (lanes < 2 || group_plans_.size() < 2) {
+    execute(blocks, block_bytes, stats);
+    return false;
+  }
+  std::vector<std::size_t> work(group_plans_.size());
+  for (std::size_t i = 0; i < group_plans_.size(); ++i) {
+    work[i] = group_plans_[i].cost();
+  }
+  const hazard::Placement placement = hazard::place_lpt(work, lanes);
+  std::vector<DecodeStats> lane_stats(placement.lane_units.size());
+  {
+    TaskGroup group(pool);
+    for (std::size_t l = 0; l < placement.lane_units.size(); ++l) {
+      if (placement.lane_units[l].empty()) continue;
+      group.add([this, &placement, l, blocks, block_bytes, &lane_stats] {
+        for (const std::size_t i : placement.lane_units[l]) {
+          group_plans_[i].execute(blocks, block_bytes, &lane_stats[l]);
+        }
+      });
+    }
+    group.wait();
+  }
+  if (rest_plan_.has_value()) rest_plan_->execute(blocks, block_bytes, stats);
+  if (stats != nullptr) {
+    for (const DecodeStats& st : lane_stats) {
+      stats->mult_xors += st.mult_xors;
+      stats->bytes_touched += st.bytes_touched;
+      stats->blocks_read += st.blocks_read;
+    }
+  }
+  return true;
+}
+
 Codec::Codec(const ErasureCode& code, Options options)
     : code_(&code),
       options_(options),
@@ -240,7 +276,21 @@ bool Codec::decode(const FailureScenario& scenario,
   const auto plan = plan_for(scenario);
   if (plan == nullptr) return false;
   DecodeStats local;
-  plan->execute(blocks, block_bytes, &local);
+  // Route through the DAG-guided placer when the plan's carried profile
+  // proves the group fan-out race-free and the codec has lanes to offer;
+  // otherwise (or when the plan has no width) the serial executor runs.
+  const bool qualifies =
+      options_.threads > 1 && plan->p() > 1 && plan->profile().hazard_free;
+  if (qualifies) {
+    if (plan->execute_placed(blocks, block_bytes, batch_pool(),
+                             options_.threads, &local)) {
+      metrics_.placed_decodes.add();
+    } else {
+      metrics_.placed_fallbacks.add();
+    }
+  } else {
+    plan->execute(blocks, block_bytes, &local);
+  }
   metrics_.decodes.add();
   metrics_.stripes_decoded.add();
   metrics_.mult_xors.add(local.mult_xors);

@@ -89,6 +89,18 @@ class CachedPlan {
   void execute(std::uint8_t* const* blocks, std::size_t block_bytes,
                DecodeStats* stats = nullptr) const;
 
+  /// Execute on one stripe with the group fan-out LPT-placed onto up to
+  /// `lanes` lanes of `pool` (hazard::place_lpt over the groups' costs —
+  /// the same weights the plan's hazard DAG carries); the rest plan runs
+  /// in the calling thread after every group completes, matching the
+  /// DAG's group -> rest edges. Callers must gate on profile().hazard_free
+  /// — the proof that the groups may run concurrently at all. Falls back
+  /// to execute() when there is no exploitable width (lanes < 2 or fewer
+  /// than two groups); returns true when the parallel path actually ran.
+  bool execute_placed(std::uint8_t* const* blocks, std::size_t block_bytes,
+                      ThreadPool& pool, unsigned lanes,
+                      DecodeStats* stats = nullptr) const;
+
   /// The independent-group sub-plans, in execution order.
   std::span<const SubPlan> groups() const { return group_plans_; }
 

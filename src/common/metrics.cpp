@@ -115,6 +115,8 @@ void CodecMetrics::reset() {
   stripes_decoded.reset();
   mult_xors.reset();
   bytes_touched.reset();
+  placed_decodes.reset();
+  placed_fallbacks.reset();
   decode_seconds.reset();
   batch_seconds.reset();
   plan_seconds.reset();
@@ -155,7 +157,9 @@ std::string CodecMetrics::to_json() const {
   append_kv(out, "batches", batches.value());
   append_kv(out, "stripes", stripes_decoded.value());
   append_kv(out, "mult_xors", mult_xors.value());
-  append_kv(out, "bytes_touched", bytes_touched.value(), false);
+  append_kv(out, "bytes_touched", bytes_touched.value());
+  append_kv(out, "placed", placed_decodes.value());
+  append_kv(out, "placed_fallbacks", placed_fallbacks.value(), false);
   out += "},\"latency\":{\"decode\":";
   decode_seconds.append_json(out);
   out += ",\"batch\":";

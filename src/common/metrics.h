@@ -168,6 +168,13 @@ struct CodecMetrics {
   Counter mult_xors;        ///< region ops issued (the paper's C, summed)
   Counter bytes_touched;    ///< source bytes read by region ops
 
+  // Hazard-DAG-guided execution (docs/CONCURRENCY.md,
+  // "DAG-consumed-by-executors"): decodes whose group fan-out ran LPT-
+  // placed on the codec pool, vs. decodes that qualified for placement
+  // but fell back to the serial in-caller execute().
+  Counter placed_decodes;    ///< decode() runs through execute_placed
+  Counter placed_fallbacks;  ///< placement qualified but ran serially
+
   // Latency.
   LatencyHistogram decode_seconds;  ///< per-stripe decode() wall time
   LatencyHistogram batch_seconds;   ///< decode_batch() wall time

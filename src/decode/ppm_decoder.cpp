@@ -4,6 +4,7 @@
 #include <numeric>
 #include <thread>
 
+#include "analyze_hazard/hazard.h"
 #include "common/cpu.h"
 #include "common/timer.h"
 #include "decode/log_table.h"
@@ -13,7 +14,6 @@
 #ifdef PPM_VERIFY_PLANS
 #include <stdexcept>
 
-#include "analyze_hazard/hazard.h"
 #include "verify_plan/violation.h"
 #endif
 
@@ -37,16 +37,49 @@ double PpmResult::modeled_seconds_with_overhead(unsigned lanes) const {
   if (lanes == 0) lanes = threads_used;
   double overhead = 0;
   if (task_seconds.size() > 1 && lanes > 1) {
-    overhead = static_cast<double>(lanes) * ThreadPool::thread_spawn_seconds();
+    // Only spawned threads cost a start/join: the executor never spawns
+    // more lanes than it has tasks to place on them.
+    const auto spawned = std::min<std::size_t>(lanes, task_seconds.size());
+    overhead =
+        static_cast<double>(spawned) * ThreadPool::thread_spawn_seconds();
   }
   return modeled_seconds(lanes) + overhead;
+}
+
+double PpmResult::placed_makespan_seconds() const {
+  std::vector<double> lane;
+  for (std::size_t i = 0;
+       i < task_seconds.size() && i < lane_of.size(); ++i) {
+    if (lane_of[i] >= lane.size()) lane.resize(lane_of[i] + 1, 0.0);
+    lane[lane_of[i]] += task_seconds[i];
+  }
+  return lane.empty() ? 0.0 : *std::max_element(lane.begin(), lane.end());
+}
+
+double PpmResult::round_robin_makespan_seconds(unsigned lanes) const {
+  if (lanes == 0) lanes = threads_used;
+  if (lanes == 0) lanes = 1;
+  std::vector<double> lane(lanes, 0.0);
+  for (std::size_t i = 0; i < task_seconds.size(); ++i) {
+    lane[i % lanes] += task_seconds[i];
+  }
+  return task_seconds.empty()
+             ? 0.0
+             : *std::max_element(lane.begin(), lane.end());
+}
+
+double PpmResult::critical_path_seconds() const {
+  return task_seconds.empty()
+             ? 0.0
+             : *std::max_element(task_seconds.begin(), task_seconds.end());
 }
 
 double PpmResult::modeled_seconds(unsigned lanes) const {
   if (lanes == 0) lanes = threads_used;
   if (lanes == 0) lanes = 1;
-  // Round-robin schedule, exactly how the tasks were assigned (Algorithm 1:
-  // task i runs on thread i mod T); makespan = the slowest lane.
+  // Round-robin schedule, Algorithm 1's baseline assignment (task i on
+  // thread i mod T); the executor itself now places by LPT — see
+  // modeled_seconds_lpt. Makespan = the slowest lane.
   std::vector<double> lane(lanes, 0.0);
   for (std::size_t i = 0; i < task_seconds.size(); ++i) {
     lane[i % lanes] += task_seconds[i];
@@ -124,15 +157,36 @@ std::optional<PpmResult> PpmDecoder::decode(const FailureScenario& scenario,
 #endif
 
   // Effective thread count: the paper's T <= min(4, cores), further capped
-  // at p to avoid idle workers.
+  // at the group count — spawning a lane with nothing placed on it would
+  // pay start/join cost for an idle worker.
   unsigned t = options_.threads != 0
                    ? options_.threads
                    : std::min(4u, hardware_threads());
-  if (part.p() != 0) t = std::min<unsigned>(t, static_cast<unsigned>(part.p()));
-  if (t == 0) t = 1;
-  result.threads_used = t;
+  t = std::min<unsigned>(std::max(1u, t),
+                         static_cast<unsigned>(std::max<std::size_t>(
+                             1, group_plans.size())));
 
-  // Step 3 execution: decode the independent sub-matrices in parallel.
+  // Hazard-DAG-guided placement: the groups are the DAG's root units and
+  // mutually unordered, so any lane assignment is sound; LPT over the
+  // analyzer's work estimates (SubPlan cost = the unit weight
+  // graph_of_subplans carries) puts the heaviest group first on the
+  // least-loaded lane, replacing Algorithm 1's static i mod T.
+  const bool serial_groups = t <= 1 || group_plans.size() <= 1;
+  std::vector<std::size_t> group_work(group_plans.size());
+  for (std::size_t i = 0; i < group_plans.size(); ++i) {
+    group_work[i] = group_plans[i].cost();
+  }
+  const hazard::Placement placement =
+      hazard::place_lpt(group_work, serial_groups ? 1 : t);
+  result.lane_of = placement.lane_of;
+  unsigned lanes_used = 0;
+  for (const auto& lane : placement.lane_units) {
+    if (!lane.empty()) ++lanes_used;
+  }
+  result.threads_used = std::max(1u, lanes_used);
+
+  // Step 3 execution: decode the independent sub-matrices in parallel,
+  // one worker per populated lane.
   const Timer par_phase;
   result.task_seconds.assign(group_plans.size(), 0.0);
   std::vector<DecodeStats> task_stats(group_plans.size());
@@ -141,23 +195,25 @@ std::optional<PpmResult> PpmDecoder::decode(const FailureScenario& scenario,
     group_plans[i].execute(blocks, block_bytes, &task_stats[i]);
     result.task_seconds[i] = tt.seconds();
   };
-  if (t <= 1 || group_plans.size() <= 1) {
+  const auto run_lane = [&](const std::vector<std::size_t>& units) {
+    for (const std::size_t i : units) run_task(i);
+  };
+  if (serial_groups) {
     for (std::size_t i = 0; i < group_plans.size(); ++i) run_task(i);
   } else if (options_.pool != nullptr) {
     TaskGroup group(*options_.pool);
-    for (std::size_t i = 0; i < group_plans.size(); ++i) {
-      group.add([&, i] { run_task(i); });
+    for (const auto& lane : placement.lane_units) {
+      if (lane.empty()) continue;
+      group.add([&run_lane, &lane] { run_lane(lane); });
     }
     group.wait();
   } else {
-    // Paper-faithful ephemeral threads with static round-robin assignment
-    // (Algorithm 1: sub-matrix i handled by thread i mod T).
+    // Paper-faithful ephemeral threads, one per populated lane.
     std::vector<std::jthread> workers;
-    workers.reserve(t);
-    for (unsigned w = 0; w < t; ++w) {
-      workers.emplace_back([&, w] {
-        for (std::size_t i = w; i < group_plans.size(); i += t) run_task(i);
-      });
+    workers.reserve(lanes_used);
+    for (const auto& lane : placement.lane_units) {
+      if (lane.empty()) continue;
+      workers.emplace_back([&run_lane, &lane] { run_lane(lane); });
     }
     workers.clear();  // join
   }

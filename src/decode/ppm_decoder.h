@@ -43,7 +43,12 @@ struct PpmResult {
   DecodeStats stats;
   std::size_t p = 0;                 ///< independent sub-matrices found
   std::size_t dependent_blocks = 0;  ///< faulty blocks left to H_rest
-  unsigned threads_used = 1;         ///< effective T
+  /// Lanes that actually ran work: min(T, groups) on the parallel paths
+  /// (never more threads than groups are spawned), 1 on the serial path.
+  unsigned threads_used = 1;
+  /// Lane each group ran on under the executed LPT placement (empty until
+  /// a decode ran; all zeros on the serial path).
+  std::vector<unsigned> lane_of;
   Sequence rest_sequence = Sequence::kNormal;
 
   bool rest_empty() const { return dependent_blocks == 0; }
@@ -55,25 +60,40 @@ struct PpmResult {
   std::vector<double> task_seconds;  ///< per-group execution time
 
   /// Modeled wall time on a machine with `lanes` truly concurrent cores
-  /// (0 → threads_used): planning + the makespan of the executed
-  /// round-robin schedule of the measured task times + the rest phase.
-  /// This is the substitution documented in DESIGN.md §3 for running the
-  /// paper's multi-core experiments on a single-core host: per-task work
-  /// is measured, only the physical concurrency is simulated.
+  /// (0 → threads_used): planning + the makespan of Algorithm 1's static
+  /// round-robin schedule (task i on lane i mod T) of the measured task
+  /// times + the rest phase. Since the executor moved to LPT placement
+  /// this is the *baseline* model, kept as the comparison point; the
+  /// executed schedule is modeled_seconds_lpt. The lane substitution is
+  /// documented in DESIGN.md §3: per-task work is measured, only the
+  /// physical concurrency is simulated.
   double modeled_seconds(unsigned lanes = 0) const;
 
-  /// modeled_seconds with longest-processing-time-first assignment instead
-  /// of the executed round-robin order — the schedule a work-stealing pool
-  /// would approach (within 4/3 of optimal; typically at or below the
-  /// round-robin makespan).
+  /// modeled_seconds with longest-processing-time-first assignment — the
+  /// placement the decoder now executes (within 4/3 of optimal; typically
+  /// at or below the round-robin makespan).
   double modeled_seconds_lpt(unsigned lanes = 0) const;
 
-  /// modeled_seconds plus the calibrated ephemeral-thread start/join cost
-  /// (lanes × ThreadPool::thread_spawn_seconds(), charged only when there
-  /// is a parallel phase). This is the knob behind the paper's Fig. 7
-  /// observation that m = 1 configurations peak at T = 2: with little
-  /// parallel work, extra threads cost more than their lanes save.
+  /// modeled_seconds plus the calibrated ephemeral-thread start/join cost.
+  /// Only threads actually spawned are charged — min(lanes, tasks) of
+  /// them, and none when there is no parallel phase. This is the knob
+  /// behind the paper's Fig. 7 observation that m = 1 configurations peak
+  /// at T = 2: with little parallel work, extra threads cost more than
+  /// their lanes save.
   double modeled_seconds_with_overhead(unsigned lanes = 0) const;
+
+  /// Measured makespan of the group phase as executed: the heaviest
+  /// lane's summed task times under `lane_of`. The quantity the ROADMAP's
+  /// success metric compares against critical_path_seconds().
+  double placed_makespan_seconds() const;
+
+  /// Counterfactual group-phase makespan had the same measured tasks run
+  /// under Algorithm 1's i mod T assignment (0 → threads_used lanes).
+  double round_robin_makespan_seconds(unsigned lanes = 0) const;
+
+  /// The analyzer's critical-path bound on the group phase in measured
+  /// time: the single heaviest task. No lane count can go below it.
+  double critical_path_seconds() const;
 };
 
 class PpmDecoder {

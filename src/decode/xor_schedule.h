@@ -56,15 +56,48 @@ struct TargetSpan {
   std::size_t last_op = kNoOp;
 };
 
-/// Per-target op spans of `schedule` over a `rows`-target system. Ops with
-/// out-of-range targets are ignored (the verifier flags them separately).
-std::vector<TargetSpan> target_spans(const XorSchedule& schedule,
-                                     std::size_t rows);
+/// Per-target op spans of `schedule` over a `rows`-target system. An op
+/// with an out-of-range target is a malformed schedule: it cannot belong
+/// to any unit, so it is excluded from the spans and its op index is
+/// appended to `out_of_range` when given — callers in the verification
+/// path (hazard::analyze_schedule) report each one as a
+/// `xor_index_out_of_bounds` Violation rather than letting it vanish.
+std::vector<TargetSpan> target_spans(
+    const XorSchedule& schedule, std::size_t rows,
+    std::vector<std::size_t>* out_of_range = nullptr);
 
 /// Execute: `targets[r]` = XOR of sources per schedule; `sources[c]` are
 /// the survivor regions. Regions are `bytes` long.
 void execute_xor_schedule(const XorSchedule& schedule,
                           std::uint8_t* const* sources,
                           std::uint8_t* const* targets, std::size_t bytes);
+
+/// What execute_xor_schedule_parallel actually did.
+struct ParallelXorReport {
+  bool parallel = false;  ///< false = serial fallback ran (output identical)
+  unsigned workers = 0;   ///< worker threads used on the parallel path
+  std::size_t units = 0;      ///< target units dispatched
+  std::size_t max_width = 0;  ///< peak concurrently-dispatchable units
+};
+
+/// Unit-parallel execution of `schedule` over a `rows`-target system:
+/// each target's op subsequence is one unit, dispatched the moment every
+/// target it reads via from_output is finalized (completion signaling,
+/// not level barriers), on up to `threads` workers. Output is
+/// byte-identical to execute_xor_schedule for any schedule this function
+/// accepts, because ops within a unit keep their stream order and
+/// cross-unit reads only see finalized targets.
+///
+/// Serial fallback (report.parallel == false, semantics unchanged) when
+/// the schedule has no exploitable width or is not provably safe to
+/// unit-parallelize: threads < 2, fewer than two units, peak width < 2, a
+/// target or from_output source out of range, a from_output
+/// self-reference, or a from_output source whose span is not finalized
+/// before the consuming unit's first op (the analyzer's
+/// `unordered_from_output_use`).
+ParallelXorReport execute_xor_schedule_parallel(
+    const XorSchedule& schedule, std::size_t rows,
+    std::uint8_t* const* sources, std::uint8_t* const* targets,
+    std::size_t bytes, unsigned threads);
 
 }  // namespace ppm

@@ -1,0 +1,138 @@
+#include "parallel/dag_executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace ppm {
+namespace {
+
+/// Ready-queue ordering: heaviest priority first, lowest index breaking
+/// ties, so dispatch order is deterministic for a given edge set.
+struct ReadyOrder {
+  const std::vector<std::size_t>* weight;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const std::size_t wa = (*weight)[a];
+    const std::size_t wb = (*weight)[b];
+    if (wa != wb) return wa < wb;  // max-heap on weight
+    return a > b;                  // then min index on top
+  }
+};
+
+}  // namespace
+
+DagRunReport run_unit_dag(
+    std::size_t units,
+    std::span<const std::pair<std::size_t, std::size_t>> edges,
+    unsigned threads, const std::function<void(std::size_t)>& run,
+    std::span<const std::size_t> priority) {
+  DagRunReport report;
+  if (units == 0) {
+    report.ran = true;
+    return report;
+  }
+
+  std::vector<std::vector<std::size_t>> succ(units);
+  std::vector<std::size_t> indegree(units, 0);
+  for (const auto& [from, to] : edges) {
+    if (from >= units || to >= units) continue;
+    succ[from].push_back(to);
+    ++indegree[to];
+  }
+
+  std::vector<std::size_t> weight(units, 1);
+  if (priority.size() == units) {
+    weight.assign(priority.begin(), priority.end());
+  }
+
+  std::priority_queue<std::size_t, std::vector<std::size_t>, ReadyOrder> ready(
+      ReadyOrder{&weight});
+  for (std::size_t u = 0; u < units; ++u) {
+    if (indegree[u] == 0) ready.push(u);
+  }
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, threads), units));
+  if (workers <= 1) {
+    // In-caller Kahn order, still heaviest-ready-first.
+    std::size_t done = 0;
+    while (!ready.empty()) {
+      const std::size_t u = ready.top();
+      ready.pop();
+      run(u);
+      ++done;
+      for (const std::size_t v : succ[u]) {
+        if (--indegree[v] == 0) ready.push(v);
+      }
+    }
+    report.ran = done == units;  // shortfall means a dependency cycle
+    report.workers_used = report.ran ? 1 : 0;
+    return report;
+  }
+
+  // Cycle pre-check: the parallel loop below would deadlock on a cycle, so
+  // refuse up front (nothing has run yet). Reuses a scratch copy of the
+  // indegrees; `ready` is rebuilt afterwards.
+  {
+    std::vector<std::size_t> deg = indegree;
+    std::vector<std::size_t> stack;
+    for (std::size_t u = 0; u < units; ++u) {
+      if (deg[u] == 0) stack.push_back(u);
+    }
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      ++seen;
+      for (const std::size_t v : succ[u]) {
+        if (--deg[v] == 0) stack.push_back(v);
+      }
+    }
+    if (seen != units) return report;  // ran = false
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+  bool all_done = false;
+
+  const auto worker_loop = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return !ready.empty() || all_done; });
+      if (ready.empty()) return;  // all_done and nothing left to claim
+      const std::size_t u = ready.top();
+      ready.pop();
+      lock.unlock();
+      run(u);
+      lock.lock();
+      // Completion signal: retire the unit, then release every consumer
+      // whose last producer this was.
+      ++completed;
+      for (const std::size_t v : succ[u]) {
+        if (--indegree[v] == 0) {
+          ready.push(v);
+          cv.notify_one();
+        }
+      }
+      if (completed == units) {
+        all_done = true;
+        cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+  }
+
+  report.ran = true;
+  report.workers_used = workers;
+  return report;
+}
+
+}  // namespace ppm

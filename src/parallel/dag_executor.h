@@ -1,0 +1,41 @@
+// Completion-signaling DAG runner.
+//
+// The hazard analyzer (analyze_hazard/) proves a plan's execution units
+// race-free *given* their happens-before edges; this primitive is the
+// runtime half of that contract: it executes every unit exactly once,
+// dispatching a unit the moment its last producer completes — not at a
+// level barrier, so a deep-but-narrow chain never stalls an unrelated
+// wide region. Ready units are offered heaviest-priority-first, which
+// makes the dispatch order LPT list scheduling over the DAG (Graham's
+// bound: makespan <= work/threads + critical path).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ppm {
+
+/// What run_unit_dag actually did.
+struct DagRunReport {
+  bool ran = false;          ///< false: a dependency cycle; nothing executed
+  unsigned workers_used = 0; ///< worker threads (1 = in-caller serial order)
+};
+
+/// Execute `run(u)` once for every unit in [0, units), honoring
+/// happens-before `edges` (from must complete before to starts). Unordered
+/// units run concurrently on up to `threads` workers; when `priority` is
+/// non-empty (one weight per unit) ready units are dispatched
+/// heaviest-first. With `threads <= 1` the units run in the calling thread
+/// in a topological order (still priority-aware). Edges with out-of-range
+/// endpoints are ignored. If the edges contain a cycle no schedule exists:
+/// nothing is executed and `ran` is false. `run` must not throw.
+DagRunReport run_unit_dag(
+    std::size_t units,
+    std::span<const std::pair<std::size_t, std::size_t>> edges,
+    unsigned threads, const std::function<void(std::size_t)>& run,
+    std::span<const std::size_t> priority = {});
+
+}  // namespace ppm

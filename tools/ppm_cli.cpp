@@ -477,6 +477,8 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
   std::size_t slice_sets = 0;
   std::size_t work_sum = 0;
   std::size_t critical_sum = 0;
+  std::size_t placed_sum = 0;      // LPT makespan on --threads lanes
+  std::size_t roundrobin_sum = 0;  // Algorithm-1 makespan, same lanes
   std::size_t max_width = 0;
   double best_speedup = 1.0;
   std::string profile_json;  // per-scenario profile (last scenario wins)
@@ -509,6 +511,23 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
     max_width = std::max(max_width, prof.max_width);
     best_speedup = std::max(best_speedup, prof.speedup_bound());
 
+    // Placement the executor would run on --threads lanes, vs. the
+    // Algorithm-1 baseline — both in exact mult_XOR units (group-phase
+    // makespan + the rest tail that follows every lane).
+    std::vector<std::size_t> group_work;
+    group_work.reserve(plan->p());
+    for (const SubPlan& sub : plan->groups()) {
+      group_work.push_back(sub.cost());
+    }
+    const std::size_t rest_cost =
+        plan->rest().has_value() ? plan->rest()->cost() : 0;
+    const std::size_t placed =
+        hazard::place_lpt(group_work, threads).makespan + rest_cost;
+    const std::size_t roundrobin =
+        hazard::place_round_robin(group_work, threads).makespan + rest_cost;
+    placed_sum += placed;
+    roundrobin_sum += roundrobin;
+
     // 2. Every binary sub-system's XOR schedule, as a parallel program.
     const auto check_schedule = [&](const SubPlan& sub) {
       const Matrix& applied =
@@ -536,12 +555,14 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
     for (const std::size_t w : prof.level_width) {
       widths += (widths.empty() ? "" : ",") + std::to_string(w);
     }
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "{\"scenario\":[%s],\"units\":%zu,"
                   "\"work_mult_xors\":%zu,\"critical_path_mult_xors\":%zu,"
                   "\"level_width\":[%s],\"max_width\":%zu,"
-                  "\"max_speedup_bound\":%.4f}",
+                  "\"max_speedup_bound\":%.4f,\"lanes\":%u,"
+                  "\"placed_makespan_mult_xors\":%zu,"
+                  "\"roundrobin_makespan_mult_xors\":%zu}",
                   scenario_ids(sc).c_str(),
                   prof.level_width.empty()
                       ? std::size_t{0}
@@ -549,14 +570,17 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
                                         prof.level_width.end(),
                                         std::size_t{0}),
                   prof.work, prof.critical_path, widths.c_str(),
-                  prof.max_width, prof.speedup_bound());
+                  prof.max_width, prof.speedup_bound(), threads, placed,
+                  roundrobin);
     profile_json = buf;
     if (!args.flags.contains("sweep")) {
       std::fprintf(stderr,
                    "scenario [%s]: work=%zu critical_path=%zu "
-                   "width=%zu speedup<=%.2f\n",
+                   "width=%zu speedup<=%.2f placed=%zu roundrobin=%zu "
+                   "(T=%u)\n",
                    scenario_ids(sc).c_str(), prof.work, prof.critical_path,
-                   prof.max_width, prof.speedup_bound());
+                   prof.max_width, prof.speedup_bound(), placed, roundrobin,
+                   threads);
     }
   });
 
@@ -578,9 +602,11 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
   if (args.flags.contains("sweep")) {
     std::printf("{\"scenarios\":%zu,\"undecodable\":%zu,\"schedules\":%zu,"
                 "\"work_mult_xors\":%zu,\"critical_path_mult_xors\":%zu,"
-                "\"max_width\":%zu,\"best_speedup_bound\":%.4f}\n",
+                "\"max_width\":%zu,\"best_speedup_bound\":%.4f,"
+                "\"lanes\":%u,\"placed_makespan_mult_xors\":%zu,"
+                "\"roundrobin_makespan_mult_xors\":%zu}\n",
                 checked, undecodable_count, schedules, work_sum, critical_sum,
-                max_width, best_speedup);
+                max_width, best_speedup, threads, placed_sum, roundrobin_sum);
   } else if (!profile_json.empty()) {
     std::printf("%s\n", profile_json.c_str());
   }
