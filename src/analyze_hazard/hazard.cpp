@@ -361,30 +361,48 @@ Analysis analyze_slices(const SubPlan& plan,
 
 Analysis analyze_schedule(const XorSchedule& schedule, const Matrix& g) {
   const std::size_t rows = g.rows();
-  Analysis result = analyze(graph_of_schedule(schedule, rows, g.cols()));
+  // The register file spans the matrix's target rows plus the
+  // optimizer's temporaries; each temporary is its own execution unit
+  // (it writes a scratch region disjoint from every row).
+  const std::size_t regs = rows + schedule.temps;
+  Analysis result = analyze(graph_of_schedule(schedule, regs, g.cols()));
   // Out-of-range indices are a malformed schedule: such an op belongs to
   // no unit, so graph_of_schedule drops it from the DAG — which must be
   // reported, not silent, or the analysis would certify a program it
   // never saw in full.
   std::vector<std::size_t> out_of_range;
+  std::vector<std::size_t> fragmented;
   const std::vector<TargetSpan> spans =
-      target_spans(schedule, rows, &out_of_range);
+      target_spans(schedule, regs, &out_of_range, &fragmented);
   for (const std::size_t i : out_of_range) {
     report(result.violations, ViolationKind::kXorIndexOutOfBounds, kNoIndex,
            i,
-           "op " + size_str(i) + " targets row " +
-               size_str(schedule.ops[i].target) + " of a " + size_str(rows) +
-               "-row system; the op belongs to no execution unit");
+           "op " + size_str(i) + " targets register " +
+               size_str(schedule.ops[i].target) + " of a " + size_str(regs) +
+               "-register system; the op belongs to no execution unit");
+  }
+  // Post-optimizer schedules must keep every register's op span
+  // contiguous: a span containing foreign ops is not a dispatchable unit,
+  // and treating it as one would silently misattribute work. Structured
+  // violation instead of a wrong span.
+  for (const std::size_t t : fragmented) {
+    report(result.violations, ViolationKind::kXorTargetSpanFragmented, t,
+           spans[t].first_op,
+           "register " + size_str(t) + "'s op span [" +
+               size_str(spans[t].first_op) + "," +
+               size_str(spans[t].last_op) +
+               "] contains ops writing other registers; the span is not a "
+               "schedulable unit");
   }
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
     const XorOp& op = schedule.ops[i];
-    if (op.from_output && op.target < rows && op.source >= rows) {
+    if (op.from_output && op.target < regs && op.source >= regs) {
       report(result.violations, ViolationKind::kXorIndexOutOfBounds,
              op.target, i,
-             "op " + size_str(i) + " reads target " + size_str(op.source) +
-                 " of a " + size_str(rows) + "-row system");
+             "op " + size_str(i) + " reads register " + size_str(op.source) +
+                 " of a " + size_str(regs) + "-register system");
     }
-    if (!op.from_output || op.target >= rows || op.source >= rows ||
+    if (!op.from_output || op.target >= regs || op.source >= regs ||
         op.source == op.target) {
       continue;
     }

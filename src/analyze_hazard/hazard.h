@@ -176,14 +176,18 @@ Analysis analyze_slices(const SubPlan& plan,
                         std::span<const SliceRange> slices,
                         std::size_t block_bytes, unsigned symbol_bytes);
 
-/// Analyze an XOR schedule as a parallel program over target units:
-/// graph_of_schedule + analyze, plus the finalized-before-start check on
+/// Analyze an XOR schedule as a parallel program over register units
+/// (target rows plus the optimizer's temporaries): graph_of_schedule +
+/// analyze, plus the finalized-before-start check on
 /// every from_output read (`unordered_from_output_use`) — stricter than
 /// the serial read-before-final rule of verify_xor_schedule, because a
 /// unit-concurrent executor may start a target as soon as its
 /// dependencies finish. Ops whose target (or from_output source) falls
-/// outside the matrix are a malformed schedule and are reported as
-/// `xor_index_out_of_bounds` rather than silently dropped from the DAG.
+/// outside the register file are a malformed schedule and are reported as
+/// `xor_index_out_of_bounds` rather than silently dropped from the DAG,
+/// and a register whose op span contains foreign ops (an interleaved
+/// post-optimizer schedule) is reported as `xor_target_span_fragmented`
+/// instead of being certified with a silently wrong span.
 Analysis analyze_schedule(const XorSchedule& schedule, const Matrix& g);
 
 }  // namespace hazard

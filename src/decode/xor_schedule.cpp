@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/aligned_buffer.h"
 #include "gf/galois_field.h"
 #include "parallel/dag_executor.h"
 
@@ -90,10 +91,12 @@ std::optional<XorSchedule> plan_xor_schedule(const Matrix& g) {
       }
       if (first) {
         // All-zero row: materialize a zero target with a self-overwrite
-        // marker handled by the executor.
+        // marker handled by the executor. The 2-op fix-up counts toward
+        // cost() but NOT naive_ops — naive_ops stays the pure nonzero
+        // count u(G) so saving() always measures against the cost-model
+        // floor of the matrix itself.
         schedule.ops.push_back({false, 0, target, true});
         schedule.ops.push_back({false, 0, target, false});
-        schedule.naive_ops += 2;
       }
     }
     computed.push_back(target);
@@ -103,7 +106,8 @@ std::optional<XorSchedule> plan_xor_schedule(const Matrix& g) {
 
 std::vector<TargetSpan> target_spans(const XorSchedule& schedule,
                                      std::size_t rows,
-                                     std::vector<std::size_t>* out_of_range) {
+                                     std::vector<std::size_t>* out_of_range,
+                                     std::vector<std::size_t>* fragmented) {
   std::vector<TargetSpan> spans(rows);
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
     const std::size_t t = schedule.ops[i].target;
@@ -113,6 +117,21 @@ std::vector<TargetSpan> target_spans(const XorSchedule& schedule,
     }
     if (spans[t].first_op == kNoOp) spans[t].first_op = i;
     spans[t].last_op = i;
+  }
+  if (fragmented != nullptr) {
+    // A span is a unit only if every op inside it writes that register;
+    // a foreign op inside [first, last] means the "span" covers work it
+    // does not own. Registers are few and spans short, so the quadratic
+    // scan is fine on the verification path.
+    for (std::size_t t = 0; t < rows; ++t) {
+      if (spans[t].first_op == kNoOp) continue;
+      for (std::size_t i = spans[t].first_op; i <= spans[t].last_op; ++i) {
+        if (schedule.ops[i].target != t) {
+          fragmented->push_back(t);
+          break;
+        }
+      }
+    }
   }
   return spans;
 }
@@ -131,28 +150,51 @@ void execute_xor_schedule(const XorSchedule& schedule,
   }
 }
 
+void execute_xor_schedule(const XorSchedule& schedule, std::size_t rows,
+                          std::uint8_t* const* sources,
+                          std::uint8_t* const* targets, std::size_t bytes) {
+  if (schedule.temps == 0) {
+    execute_xor_schedule(schedule, sources, targets, bytes);
+    return;
+  }
+  // Extend the register file with scratch regions for the temporaries;
+  // their first use is an overwrite, so skip the zero-fill.
+  std::vector<AlignedBuffer> scratch;
+  scratch.reserve(schedule.temps);
+  std::vector<std::uint8_t*> regs(rows + schedule.temps);
+  for (std::size_t r = 0; r < rows; ++r) regs[r] = targets[r];
+  for (std::size_t t = 0; t < schedule.temps; ++t) {
+    scratch.push_back(AlignedBuffer::uninitialized(bytes));
+    regs[rows + t] = scratch.back().data();
+  }
+  execute_xor_schedule(schedule, sources, regs.data(), bytes);
+}
+
 ParallelXorReport execute_xor_schedule_parallel(
     const XorSchedule& schedule, std::size_t rows,
     std::uint8_t* const* sources, std::uint8_t* const* targets,
     std::size_t bytes, unsigned threads) {
   ParallelXorReport report;
   const auto serial = [&] {
-    execute_xor_schedule(schedule, sources, targets, bytes);
+    execute_xor_schedule(schedule, rows, sources, targets, bytes);
     return report;
   };
-  if (threads < 2 || rows < 2 || schedule.ops.empty()) return serial();
+  // The register file: target rows plus the optimizer's temporaries, each
+  // temp its own schedulable unit over a scratch region.
+  const std::size_t regs = rows + schedule.temps;
+  if (threads < 2 || regs < 2 || schedule.ops.empty()) return serial();
 
-  // One pass: per-unit op lists (span ranges interleave across targets, so
-  // the unit is the *subsequence* of ops with that target, not a
+  // One pass: per-unit op lists (span ranges interleave across registers,
+  // so the unit is the *subsequence* of ops with that register, not a
   // contiguous range), spans for the finalized-before-start proof, and the
   // bounds/self-reference screen. Any malformation: hand the schedule to
   // the serial executor unchanged, exactly as callers ran it before.
-  std::vector<TargetSpan> spans(rows);
-  std::vector<std::vector<std::size_t>> unit_ops(rows);
+  std::vector<TargetSpan> spans(regs);
+  std::vector<std::vector<std::size_t>> unit_ops(regs);
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
     const XorOp& op = schedule.ops[i];
-    if (op.target >= rows) return serial();
-    if (op.from_output && (op.source >= rows || op.source == op.target)) {
+    if (op.target >= regs) return serial();
+    if (op.from_output && (op.source >= regs || op.source == op.target)) {
       return serial();
     }
     if (spans[op.target].first_op == kNoOp) spans[op.target].first_op = i;
@@ -184,15 +226,15 @@ ParallelXorReport execute_xor_schedule_parallel(
   // order, given the span check above — so one in-order relaxation
   // computes exact levels.
   std::size_t units = 0;
-  for (std::size_t t = 0; t < rows; ++t) {
+  for (std::size_t t = 0; t < regs; ++t) {
     if (!unit_ops[t].empty()) ++units;
   }
-  std::vector<std::size_t> level(rows, 0);
+  std::vector<std::size_t> level(regs, 0);
   std::vector<std::size_t> level_count;
   for (const auto& [from, to] : edges) {
     level[to] = std::max(level[to], level[from] + 1);
   }
-  for (std::size_t t = 0; t < rows; ++t) {
+  for (std::size_t t = 0; t < regs; ++t) {
     if (unit_ops[t].empty()) continue;
     if (level[t] >= level_count.size()) level_count.resize(level[t] + 1, 0);
     ++level_count[level[t]];
@@ -203,26 +245,39 @@ ParallelXorReport execute_xor_schedule_parallel(
   }
   if (units < 2 || report.max_width < 2) return serial();
 
+  // Scratch regions for the temporary registers (uninitialized: their
+  // first op is an overwrite, enforced by the span proof above having
+  // been planned by a proof-gated optimizer; a malformed eager read would
+  // have fallen back to serial via the from_output span check).
+  std::vector<AlignedBuffer> scratch;
+  std::vector<std::uint8_t*> reg_ptrs(regs);
+  for (std::size_t r = 0; r < rows; ++r) reg_ptrs[r] = targets[r];
+  scratch.reserve(schedule.temps);
+  for (std::size_t t = 0; t < schedule.temps; ++t) {
+    scratch.push_back(AlignedBuffer::uninitialized(bytes));
+    reg_ptrs[rows + t] = scratch.back().data();
+  }
+
   // Dispatch: each unit runs its ops in stream order; heaviest ready unit
   // first (LPT over the DAG). Empty units complete instantly, releasing
   // any (degenerate) dependents.
-  std::vector<std::size_t> weight(rows, 0);
-  for (std::size_t t = 0; t < rows; ++t) weight[t] = unit_ops[t].size();
+  std::vector<std::size_t> weight(regs, 0);
+  for (std::size_t t = 0; t < regs; ++t) weight[t] = unit_ops[t].size();
   const auto run_unit = [&](std::size_t t) {
     for (const std::size_t i : unit_ops[t]) {
       const XorOp& op = schedule.ops[i];
       const std::uint8_t* src =
-          op.from_output ? targets[op.source] : sources[op.source];
+          op.from_output ? reg_ptrs[op.source] : sources[op.source];
       if (op.overwrite) {
-        std::memcpy(targets[op.target], src, bytes);
+        std::memcpy(reg_ptrs[op.target], src, bytes);
       } else {
-        gf::xor_region(targets[op.target], src, bytes);
+        gf::xor_region(reg_ptrs[op.target], src, bytes);
       }
     }
   };
   const unsigned workers = static_cast<unsigned>(
       std::min<std::size_t>(threads, report.max_width));
-  const DagRunReport run = run_unit_dag(rows, edges, workers, run_unit, weight);
+  const DagRunReport run = run_unit_dag(regs, edges, workers, run_unit, weight);
   if (!run.ran) return serial();  // unreachable: edges are acyclic
   report.parallel = true;
   report.workers = run.workers_used;

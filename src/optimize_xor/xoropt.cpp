@@ -1,0 +1,422 @@
+#include "optimize_xor/xoropt.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "analyze_hazard/hazard.h"
+#include "verify_plan/plan_verify.h"
+
+namespace ppm::xoropt {
+
+namespace {
+
+// Rows and subexpressions live in an *extended* column space: indices
+// [0, cols) are the matrix's source columns, [cols, cols + temps) are the
+// temporaries CSE materializes. Supports are kept as sorted index
+// vectors — decode matrices are small and sparse enough that set algebra
+// on sorted vectors beats bitsets on clarity at no measurable cost.
+using Support = std::vector<std::size_t>;
+
+std::size_t diff_size(const Support& a, const Support& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t d = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++d;
+      ++i;
+    } else {
+      ++d;
+      ++j;
+    }
+  }
+  return d + (a.size() - i) + (b.size() - j);
+}
+
+Support diff_elements(const Support& a, const Support& b) {
+  Support out;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+/// Op reading extended column `ext` into register `reg`: a plain source
+/// read below `cols`, a from_output read of the temporary's register
+/// above it.
+XorOp ext_read(std::size_t rows, std::size_t cols, std::size_t ext,
+               std::size_t reg, bool overwrite) {
+  if (ext < cols) return XorOp{false, ext, reg, overwrite};
+  return XorOp{true, rows + (ext - cols), reg, overwrite};
+}
+
+/// Emit `support` into register `reg` either directly (overwrite the
+/// first element, XOR the rest) or incrementally from a previously
+/// computed target register. Zero supports materialize a zero register
+/// with the planner's 2-op self-cancel trick.
+void emit_unit(std::size_t rows, std::size_t cols, std::size_t reg,
+               const Support& support, const Support* base_support,
+               std::size_t base_reg, std::vector<XorOp>& out) {
+  if (base_support != nullptr) {
+    out.push_back(XorOp{true, base_reg, reg, true});
+    for (const std::size_t e : diff_elements(support, *base_support)) {
+      out.push_back(ext_read(rows, cols, e, reg, false));
+    }
+    return;
+  }
+  if (support.empty()) {
+    out.push_back(XorOp{false, 0, reg, true});
+    out.push_back(XorOp{false, 0, reg, false});
+    return;
+  }
+  bool first = true;
+  for (const std::size_t e : support) {
+    out.push_back(ext_read(rows, cols, e, reg, first));
+    first = false;
+  }
+}
+
+// --- Pass 1: cross-equation CSE (greedy pair/kernel extraction) --------
+//
+// Paar-style: repeatedly find the extended-column pair co-occurring in
+// the most rows, materialize it as a temporary, and substitute. A pair
+// shared by k rows trades 2 definition ops for k replaced reads (net
+// k - 2); k == 2 extractions are kept too because they canonicalize
+// shared kernels and feed later rounds (chains of pairs become whole
+// shared subexpressions). Emission then runs the greedy incremental
+// base selection over the REWRITTEN rows, so difference-based sharing
+// and CSE compose. The final accept/reject decision belongs to the
+// pipeline's proof-and-cost gate, not to this heuristic.
+XorSchedule cse_pass(const Matrix& g, std::size_t max_rounds) {
+  const std::size_t rows = g.rows();
+  const std::size_t cols = g.cols();
+
+  std::vector<Support> row_ext(rows);
+  std::size_t naive = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (g(r, c) != 0) {
+        row_ext[r].push_back(c);
+        ++naive;
+      }
+    }
+  }
+
+  // Each extraction consumes co-occurrences, so u(G) + 8 rounds is an
+  // unreachable ceiling — the cap only bounds pathological inputs.
+  if (max_rounds == 0) max_rounds = naive + 8;
+  std::vector<std::pair<std::size_t, std::size_t>> defs;  // temp inputs
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> counts;
+    for (const Support& row : row_ext) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        for (std::size_t j = i + 1; j < row.size(); ++j) {
+          ++counts[{row[i], row[j]}];
+        }
+      }
+    }
+    // Deterministic winner: max count, then lexicographically smallest
+    // pair (std::map iterates in key order, so first-seen wins ties).
+    std::pair<std::size_t, std::size_t> best{0, 0};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    }
+    if (best_count < 2) break;
+
+    const std::size_t t_ext = cols + defs.size();
+    defs.push_back(best);
+    for (Support& row : row_ext) {
+      const bool has_a = std::binary_search(row.begin(), row.end(),
+                                            best.first);
+      const bool has_b = std::binary_search(row.begin(), row.end(),
+                                            best.second);
+      if (!has_a || !has_b) continue;
+      row.erase(std::remove_if(row.begin(), row.end(),
+                               [&](std::size_t e) {
+                                 return e == best.first || e == best.second;
+                               }),
+                row.end());
+      row.push_back(t_ext);  // t_ext exceeds every existing index: sorted
+    }
+  }
+
+  XorSchedule out;
+  out.naive_ops = naive;
+  out.temps = defs.size();
+
+  // Temporaries first, in creation order — a temp's inputs are original
+  // columns or earlier temps, so every from_output read is of a register
+  // whose unit has already finalized.
+  for (std::size_t k = 0; k < defs.size(); ++k) {
+    const std::size_t reg = rows + k;
+    out.ops.push_back(ext_read(rows, cols, defs[k].first, reg, true));
+    out.ops.push_back(ext_read(rows, cols, defs[k].second, reg, false));
+  }
+
+  // Targets lightest-first with greedy incremental base selection over
+  // the rewritten supports (the planner's difference trick, lifted to the
+  // extended column space).
+  std::vector<std::size_t> order(rows);
+  for (std::size_t r = 0; r < rows; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_ext[a].size() != row_ext[b].size()) {
+      return row_ext[a].size() < row_ext[b].size();
+    }
+    return a < b;
+  });
+  std::vector<std::size_t> computed;
+  for (const std::size_t target : order) {
+    const Support* base = nullptr;
+    std::size_t base_reg = 0;
+    std::size_t best = row_ext[target].size();
+    for (const std::size_t prior : computed) {
+      const std::size_t d = diff_size(row_ext[target], row_ext[prior]);
+      if (d + 1 < best) {
+        best = d + 1;
+        base = &row_ext[prior];
+        base_reg = prior;
+      }
+    }
+    emit_unit(rows, cols, target, row_ext[target], base, base_reg, out.ops);
+    computed.push_back(target);
+  }
+  return out;
+}
+
+// --- Pass 2: copy propagation + dead-op elimination --------------------
+//
+// Three rewrites to a fixpoint: (a) a temporary no op ever reads is
+// deleted outright; (b) a temporary with exactly one reader is folded
+// back into that reader (its definition ops retargeted in place of the
+// read — saves the read); (c) ops on a register that a later overwrite of
+// the same register shadows are dropped. Unit contiguity is preserved:
+// deletions keep order and inlining replaces the read op in place.
+XorSchedule copyprop_pass(std::size_t rows, const XorSchedule& in) {
+  const std::size_t regs = rows + in.temps;
+  std::vector<XorOp> ops = in.ops;
+
+  for (bool changed = true; changed;) {
+    changed = false;
+
+    std::vector<std::size_t> reads(regs, 0);
+    std::vector<std::size_t> read_op(regs, kNoOp);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].from_output && ops[i].source < regs) {
+        ++reads[ops[i].source];
+        read_op[ops[i].source] = i;
+      }
+    }
+
+    for (std::size_t r = rows; r < regs && !changed; ++r) {
+      std::vector<std::size_t> def;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].target == r) def.push_back(i);
+      }
+      if (def.empty()) continue;
+      if (reads[r] == 0) {
+        // (a) dead temporary.
+        for (std::size_t k = def.size(); k-- > 0;) {
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(def[k]));
+        }
+        changed = true;
+      } else if (reads[r] == 1 && read_op[r] > def.back() &&
+                 ops[def.front()].overwrite) {
+        // (b) single-use temporary: splice the definition into the one
+        // reader. Reading the temp XORs (or copies) the linear sum of its
+        // definition sources, so the definition ops are replayed against
+        // the reader's register — overwrite only carried over to the
+        // first op when the read itself overwrote.
+        const std::size_t j = read_op[r];
+        const XorOp reader = ops[j];
+        std::vector<XorOp> repl;
+        repl.reserve(def.size());
+        for (std::size_t k = 0; k < def.size(); ++k) {
+          XorOp op = ops[def[k]];
+          op.target = reader.target;
+          op.overwrite = reader.overwrite && k == 0;
+          repl.push_back(op);
+        }
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+        ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(j),
+                   repl.begin(), repl.end());
+        for (std::size_t k = def.size(); k-- > 0;) {
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(def[k]));
+        }
+        changed = true;
+      }
+    }
+    if (changed) continue;
+
+    // (c) overwrite shadowing: within one register's op subsequence,
+    // everything before the last overwrite is dead work.
+    for (std::size_t r = 0; r < regs && !changed; ++r) {
+      std::size_t last_overwrite = kNoOp;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].target == r && ops[i].overwrite) last_overwrite = i;
+      }
+      if (last_overwrite == kNoOp) continue;
+      std::vector<std::size_t> dead;
+      for (std::size_t i = 0; i < last_overwrite; ++i) {
+        if (ops[i].target == r) dead.push_back(i);
+      }
+      if (dead.empty()) continue;
+      for (std::size_t k = dead.size(); k-- > 0;) {
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(dead[k]));
+      }
+      changed = true;
+    }
+  }
+
+  // Renumber the surviving temporaries compactly (ordered by first
+  // definition op, so the defs-before-uses stream property survives).
+  std::vector<std::size_t> remap(regs, kNoOp);
+  std::size_t next = 0;
+  for (const XorOp& op : ops) {
+    if (op.target >= rows && op.target < regs && remap[op.target] == kNoOp) {
+      remap[op.target] = rows + next++;
+    }
+  }
+  XorSchedule out;
+  out.naive_ops = in.naive_ops;
+  out.temps = next;
+  out.ops = std::move(ops);
+  for (XorOp& op : out.ops) {
+    if (op.target >= rows && op.target < regs) op.target = remap[op.target];
+    if (op.from_output && op.source >= rows && op.source < regs &&
+        remap[op.source] != kNoOp) {
+      op.source = remap[op.source];
+    }
+  }
+  return out;
+}
+
+// --- Pass 3: cache-aware unit reordering -------------------------------
+//
+// Topological emission of whole register units with an affinity
+// tie-break: among the ready units, pick the one sharing the most source
+// columns with the unit just emitted, so consecutive units re-read
+// blocks that are still cache-hot. Whole-unit moves keep every span
+// contiguous and producer-before-consumer order intact by construction.
+XorSchedule reorder_pass(std::size_t rows, const XorSchedule& in) {
+  const std::size_t regs = rows + in.temps;
+  std::vector<std::vector<std::size_t>> unit(regs);
+  for (std::size_t i = 0; i < in.ops.size(); ++i) {
+    if (in.ops[i].target >= regs) return in;  // malformed: leave unchanged
+    unit[in.ops[i].target].push_back(i);
+  }
+
+  std::vector<Support> unit_sources(regs);
+  std::vector<std::vector<std::size_t>> succ(regs);
+  std::vector<std::size_t> indegree(regs, 0);
+  for (const XorOp& op : in.ops) {
+    if (!op.from_output) {
+      unit_sources[op.target].push_back(op.source);
+      continue;
+    }
+    if (op.source >= regs || op.source == op.target) return in;
+    auto& s = succ[op.source];
+    if (std::find(s.begin(), s.end(), op.target) == s.end()) {
+      s.push_back(op.target);
+      ++indegree[op.target];
+    }
+  }
+  for (Support& s : unit_sources) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  std::vector<std::size_t> ready;
+  for (std::size_t r = 0; r < regs; ++r) {
+    if (!unit[r].empty() && indegree[r] == 0) ready.push_back(r);
+  }
+  const Support* prev = nullptr;
+  XorSchedule out;
+  out.naive_ops = in.naive_ops;
+  out.temps = in.temps;
+  out.ops.reserve(in.ops.size());
+  while (!ready.empty()) {
+    std::size_t pick = 0;
+    std::size_t best_overlap = 0;
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      std::size_t overlap = 0;
+      if (prev != nullptr) {
+        const Support& s = unit_sources[ready[k]];
+        const std::size_t d = diff_size(s, *prev);
+        overlap = (s.size() + prev->size() - d) / 2;  // |intersection|
+      }
+      // Ties keep the original stream order (smaller first op wins), so
+      // the pass is deterministic and a no-op on affinity-flat inputs.
+      const bool better =
+          overlap > best_overlap ||
+          (overlap == best_overlap && k != pick &&
+           unit[ready[k]].front() < unit[ready[pick]].front());
+      if (k == 0 || better) {
+        pick = k;
+        best_overlap = overlap;
+      }
+    }
+    const std::size_t u = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    for (const std::size_t i : unit[u]) out.ops.push_back(in.ops[i]);
+    prev = &unit_sources[u];
+    for (const std::size_t v : succ[u]) {
+      if (--indegree[v] == 0 && !unit[v].empty()) ready.push_back(v);
+    }
+  }
+  if (out.ops.size() != in.ops.size()) return in;  // cycle: leave unchanged
+  return out;
+}
+
+}  // namespace
+
+std::vector<planverify::Violation> prove(const Matrix& g,
+                                         const XorSchedule& schedule) {
+  auto verdict = planverify::verify_xor_schedule(g, schedule);
+  const auto analysis = hazard::analyze_schedule(schedule, g);
+  verdict.violations.insert(verdict.violations.end(),
+                            analysis.violations.begin(),
+                            analysis.violations.end());
+  return std::move(verdict.violations);
+}
+
+Result optimize(const Matrix& g, const XorSchedule& base,
+                const Options& options) {
+  Result result;
+  result.schedule = base;
+  result.stats.temps = base.temps;
+
+  XorSchedule current = base;
+  const auto attempt = [&](XorSchedule candidate) {
+    ++result.stats.passes;
+    if (options.tamper_for_test) options.tamper_for_test(candidate);
+    // The gate: a rewrite survives only with a full proof — symbolic
+    // GF(2) replay against the ORIGINAL matrix plus hazard re-analysis —
+    // and a cost that does not regress. Anything else is discarded and
+    // the previous proven schedule stands; the decode is never at risk.
+    if (!prove(g, candidate).empty() ||
+        candidate.cost() > current.cost()) {
+      ++result.stats.rewrites_rejected;
+      return;
+    }
+    ++result.stats.rewrites_accepted;
+    current = std::move(candidate);
+  };
+
+  if (options.cse) attempt(cse_pass(g, options.max_cse_rounds));
+  if (options.copy_propagation) attempt(copyprop_pass(g.rows(), current));
+  if (options.reorder) attempt(reorder_pass(g.rows(), current));
+
+  result.stats.ops_saved = base.cost() - current.cost();
+  result.stats.temps = current.temps;
+  result.schedule = std::move(current);
+  return result;
+}
+
+}  // namespace ppm::xoropt

@@ -1,0 +1,95 @@
+// Proof-carrying XOR-schedule superoptimizer (ppm::xoropt).
+//
+// The paper's cost model treats u(M) — the nonzero count of the decoding
+// matrix — as the floor on XOR work, and the greedy incremental planner
+// (decode/xor_schedule.h) already undercuts it by computing targets as
+// differences of other targets. Uezato's observation (PAPERS.md,
+// "Accelerating XOR-based Erasure Coding using Program Optimization
+// Techniques") is that an XOR schedule is a *program*, so classic
+// compiler passes apply:
+//
+//   1. cross-equation CSE — XOR subexpressions (source-column pairs, and
+//      transitively whole kernels) shared by >= 2 target rows are
+//      materialized once into temporary registers and the consuming rows
+//      rewritten to read the temporary (greedy pair extraction over the
+//      binary row space, a la Paar);
+//   2. copy propagation + dead-op elimination — temporaries that end up
+//      unread are deleted, single-use temporaries are folded back into
+//      their one consumer, and ops shadowed by a later overwrite of the
+//      same register are dropped;
+//   3. cache-aware reordering — whole register units are reordered within
+//      the dependency constraints to maximize source-block reuse between
+//      adjacent units, keeping every unit's op span contiguous so
+//      target_spans()/the hazard DAG stay valid.
+//
+// EVERY pass is verified, never trusted: the rewritten schedule must
+// round-trip through symbolic GF(2) replay (planverify — row-exact
+// equality against the original matrix, cost honesty against u(G)) AND
+// hazard re-analysis (race-free unit DAG, no unordered_from_output_use,
+// no fragmented spans) before it replaces the previous schedule. A failed
+// proof rejects the *rewrite* — the caller keeps the last proven schedule
+// (worst case: the input), so optimization can never break a decode.
+//
+// docs/STATIC_ANALYSIS.md §"Schedule superoptimizer" documents the pass
+// catalog and the proof obligations in detail.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "decode/xor_schedule.h"
+#include "matrix/matrix.h"
+#include "verify_plan/violation.h"
+
+namespace ppm::xoropt {
+
+struct Options {
+  bool cse = true;               ///< pass 1: cross-equation CSE
+  bool copy_propagation = true;  ///< pass 2: copy-prop + dead-op elimination
+  bool reorder = true;           ///< pass 3: cache-aware unit reordering
+
+  /// Upper bound on CSE pair-extraction rounds; 0 = auto (u(G) + 8, which
+  /// the greedy extraction can never exhaust — each round retires at
+  /// least one co-occurring pair).
+  std::size_t max_cse_rounds = 0;
+
+  /// TEST-ONLY: invoked on every candidate schedule after the pass built
+  /// it and before its proof runs. Lets tests corrupt rewrites and assert
+  /// the oracle gate rejects them (the production paths never set this).
+  std::function<void(XorSchedule&)> tamper_for_test;
+};
+
+struct Stats {
+  std::size_t passes = 0;             ///< rewrite candidates attempted
+  std::size_t rewrites_accepted = 0;  ///< candidates that proved out
+  std::size_t rewrites_rejected = 0;  ///< failed proof or regressed cost
+  std::size_t ops_saved = 0;          ///< base cost() - final cost()
+  std::size_t temps = 0;              ///< temporaries in the final schedule
+};
+
+struct Result {
+  /// The best proven schedule: the final accepted rewrite, or `base`
+  /// unchanged when every rewrite was rejected. Always carries a passing
+  /// proof (prove() returned empty) unless the input itself did not.
+  XorSchedule schedule;
+  Stats stats;
+};
+
+/// The oracle gate both passes and external consumers (plan store reload,
+/// fuzz) use: symbolic GF(2) replay (planverify::verify_xor_schedule)
+/// plus hazard re-analysis (hazard::analyze_schedule, including the
+/// fragmented-span check), concatenated. Empty = proven equivalent to `g`
+/// and safe to unit-parallelize.
+std::vector<planverify::Violation> prove(const Matrix& g,
+                                         const XorSchedule& schedule);
+
+/// Run the pass pipeline over `base` (typically plan_xor_schedule(g)'s
+/// output). Each enabled pass emits one rewrite candidate; a candidate is
+/// accepted only if prove() returns empty AND its cost() does not exceed
+/// the current best. The result's naive_ops is pinned to u(G) so
+/// saving() reports against the original matrix, not the input schedule.
+Result optimize(const Matrix& g, const XorSchedule& base,
+                const Options& options = {});
+
+}  // namespace ppm::xoropt

@@ -6,6 +6,7 @@
 
 #include "analyze_hazard/hazard.h"
 #include "common/crc32.h"
+#include "optimize_xor/xoropt.h"
 #include "verify_plan/plan_verify.h"
 
 namespace ppm::planstore {
@@ -37,6 +38,19 @@ void put_matrix(std::vector<std::uint8_t>& out, const Matrix& m) {
   put_u32(out, static_cast<std::uint32_t>(m.rows()));
   put_u32(out, static_cast<std::uint32_t>(m.cols()));
   for (const gf::Element e : m.data()) put_u32(out, e);
+}
+
+void put_schedule(std::vector<std::uint8_t>& out, const PlanSchedule& ps) {
+  put_u32(out, static_cast<std::uint32_t>(ps.sub));
+  put_u64(out, ps.schedule.temps);
+  put_u64(out, ps.schedule.naive_ops);
+  put_u32(out, static_cast<std::uint32_t>(ps.schedule.ops.size()));
+  for (const XorOp& op : ps.schedule.ops) {
+    put_u8(out, static_cast<std::uint8_t>((op.from_output ? 1u : 0u) |
+                                          (op.overwrite ? 2u : 0u)));
+    put_u64(out, op.source);
+    put_u64(out, op.target);
+  }
 }
 
 void put_subplan(std::vector<std::uint8_t>& out, const SubPlan& sub) {
@@ -127,6 +141,29 @@ struct Reader {
   }
 };
 
+std::optional<PlanSchedule> read_schedule(Reader& r) {
+  PlanSchedule ps;
+  ps.sub = static_cast<std::size_t>(r.u32());
+  ps.schedule.temps = static_cast<std::size_t>(r.u64());
+  ps.schedule.naive_ops = static_cast<std::size_t>(r.u64());
+  const std::uint32_t op_count = r.u32();
+  // Corrupt lengths must not drive allocation: each op is 17 bytes.
+  if (!r.ok || op_count > r.remaining() / 17) return std::nullopt;
+  ps.schedule.ops.reserve(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    const std::uint8_t flags = r.u8();
+    if (!r.ok || flags > 3) return std::nullopt;
+    XorOp op;
+    op.from_output = (flags & 1u) != 0;
+    op.overwrite = (flags & 2u) != 0;
+    op.source = static_cast<std::size_t>(r.u64());
+    op.target = static_cast<std::size_t>(r.u64());
+    ps.schedule.ops.push_back(op);
+  }
+  if (!r.ok) return std::nullopt;
+  return ps;
+}
+
 std::optional<SubPlan> read_subplan(Reader& r, const gf::Field& f) {
   const std::uint8_t seq_raw = r.u8();
   if (!r.ok || seq_raw > 1) return std::nullopt;
@@ -198,6 +235,9 @@ std::vector<std::uint8_t> serialize_plan(const ErasureCode& code,
   for (const SubPlan& sub : plan.groups()) put_subplan(payload, sub);
   put_u8(payload, plan.rest().has_value() ? 1 : 0);
   if (plan.rest().has_value()) put_subplan(payload, *plan.rest());
+
+  put_u32(payload, static_cast<std::uint32_t>(plan.schedules().size()));
+  for (const PlanSchedule& ps : plan.schedules()) put_schedule(payload, ps);
 
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
@@ -298,6 +338,26 @@ std::optional<StoredPlan> deserialize_plan(std::span<const std::uint8_t> bytes,
       return std::nullopt;
     }
   }
+
+  const std::uint32_t sched_count = r.u32();
+  if (!r.ok || sched_count > r.remaining()) {
+    fail(error, "bad schedule count");
+    return std::nullopt;
+  }
+  std::vector<PlanSchedule> schedules;
+  schedules.reserve(sched_count);
+  for (std::uint32_t i = 0; i < sched_count; ++i) {
+    auto ps = read_schedule(r);
+    // The sub index must resolve to a sub-plan of THIS record (the value
+    // groups.size() is the rest plan, valid only when one exists).
+    if (!ps.has_value() || ps->sub > group_count ||
+        (ps->sub == group_count && has_rest == 0)) {
+      fail(error, "bad optimized schedule");
+      return std::nullopt;
+    }
+    schedules.push_back(std::move(*ps));
+  }
+
   if (!r.ok || r.remaining() != 0) {
     fail(error, "trailing bytes");
     return std::nullopt;
@@ -305,7 +365,7 @@ std::optional<StoredPlan> deserialize_plan(std::span<const std::uint8_t> bytes,
 
   StoredPlan stored{FailureScenario(faulty),
                     CachedPlan::assemble(std::move(groups), std::move(rest)),
-                    std::move(prof)};
+                    std::move(prof), std::move(schedules)};
   return stored;
 }
 
@@ -431,6 +491,28 @@ PlanStore::LoadResult PlanStore::load_file(
     if (why != nullptr) *why = "stored profile disagrees with re-analysis";
     return LoadResult::kRejected;
   }
+
+  // Optimized XOR schedules get the same zero trust as the plan itself:
+  // each one must re-prove — symbolic GF(2) replay against its sub-plan's
+  // applied matrix plus hazard re-analysis — before it is attached. A
+  // single failed proof condemns the record; the rebuilt plan simply
+  // re-optimizes from scratch.
+  for (const PlanSchedule& ps : stored->schedules) {
+    const SubPlan& sub = ps.sub < stored->plan.groups().size()
+                             ? stored->plan.groups()[ps.sub]
+                             : *stored->plan.rest();
+    const Matrix& applied =
+        sub.sequence() == Sequence::kMatrixFirst ? sub.finv() : sub.s();
+    const auto violations = xoropt::prove(applied, ps.schedule);
+    if (!violations.empty()) {
+      quarantine(path);
+      if (why != nullptr) {
+        *why = "schedule re-proof: " + planverify::to_json(violations);
+      }
+      return LoadResult::kRejected;
+    }
+  }
+  stored->plan.schedules_ = std::move(stored->schedules);
 
   stored->plan.profile_ = fresh;  // install the RECOMPUTED profile
   if (scenario_out != nullptr) *scenario_out = stored->scenario;

@@ -21,13 +21,22 @@
 //              matrices (u32 rows, u32 cols, u32 per element), cost u64,
 //              source_blocks u64
 //            | has_rest u8 [| rest sub-plan]
+//            | schedule count u32 | per optimized XOR schedule: sub index
+//              u32 (groups().size() = rest), temps u64, naive_ops u64, op
+//              count u32, per op: flags u8 (bit0 from_output, bit1
+//              overwrite), source u64, target u64
 //
 // ZERO-TRUST LOAD CONTRACT: bytes from disk are never executed on faith.
 // Every load re-proves the record — CRC + structural parse with bounds
 // and field-range checks, then planverify::verify_plan (independent
 // algebraic recomputation) and hazard::analyze_plan (race-freedom for all
 // interleavings), plus a cross-check of the stored profile against the
-// fresh analysis. A record failing ANY step is quarantined — renamed to
+// fresh analysis. Superoptimized XOR schedules riding on the record are
+// held to the same standard: each one is re-proved with xoropt::prove
+// (symbolic GF(2) replay against the sub-plan's applied matrix + hazard
+// re-analysis) before it is attached — a schedule proof failure
+// quarantines the whole record. A record failing ANY step is quarantined
+// — renamed to
 // "<name>.quarantined", never served, never deleted silently — and the
 // caller rebuilds from the code itself. docs/PLAN_STORE.md documents the
 // format and the contract; `ppm_cli store {build,ls,check,gc}` operates
@@ -58,8 +67,9 @@
 namespace ppm::planstore {
 
 /// On-disk format version; bumped on any layout change. Records with a
-/// different version never parse (they quarantine and rebuild).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// different version never parse (they quarantine and rebuild). v2 added
+/// the optimized-XOR-schedule section.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Serialize one verified plan into a self-contained record (header +
 /// payload, see the format comment above).
@@ -70,11 +80,14 @@ std::vector<std::uint8_t> serialize_plan(const ErasureCode& code,
 /// A structurally parsed record. `plan` carries a default profile — the
 /// stored one is returned separately as UNTRUSTED data for cross-checking
 /// against a fresh hazard analysis; PlanStore::load installs the fresh
-/// profile after re-verification.
+/// profile after re-verification. `schedules` likewise holds the record's
+/// optimized XOR schedules as UNTRUSTED data — the loader attaches them
+/// to the plan only after each re-proves with xoropt::prove.
 struct StoredPlan {
   FailureScenario scenario;
   CachedPlan plan;
   PlanProfile stored_profile;
+  std::vector<PlanSchedule> schedules;
 };
 
 /// Structural parse of a record: magic, version, CRC, bounds, field-range

@@ -56,6 +56,7 @@
 #include "io/fault_injection.h"
 #include "matrix/matrix.h"
 #include "matrix/solve.h"
+#include "optimize_xor/xoropt.h"
 #include "parallel/dag_executor.h"
 #include "parallel/task_group.h"
 #include "plan_store/plan_store.h"

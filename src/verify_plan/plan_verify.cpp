@@ -274,33 +274,37 @@ VerifyResult verify_xor_schedule(const Matrix& g,
   }
   const std::size_t rows = g.rows();
   const std::size_t cols = g.cols();
+  // Register file: the matrix's target rows plus the optimizer's
+  // temporaries. Replay covers every register; only the rows are compared
+  // against the matrix at the end.
+  const std::size_t regs = rows + schedule.temps;
 
-  // Index of the last op writing each target: a from_output read is only
-  // sound when the source target is fully built and never touched again.
-  std::vector<std::size_t> last_write(rows, kNoIndex);
+  // Index of the last op writing each register: a from_output read is only
+  // sound when the source register is fully built and never touched again.
+  std::vector<std::size_t> last_write(regs, kNoIndex);
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
-    if (schedule.ops[i].target < rows) {
+    if (schedule.ops[i].target < regs) {
       last_write[schedule.ops[i].target] = i;
     }
   }
 
-  // Symbolic replay over GF(2): track each target as a bitset over the
+  // Symbolic replay over GF(2): track each register as a bitset over the
   // source columns and compare against the matrix rows at the end.
-  std::vector<BitRow> value(rows, BitRow((cols + 63) / 64, 0));
-  std::vector<char> written(rows, 0);
+  std::vector<BitRow> value(regs, BitRow((cols + 63) / 64, 0));
+  std::vector<char> written(regs, 0);
   for (std::size_t i = 0; i < schedule.ops.size(); ++i) {
     const XorOp& op = schedule.ops[i];
-    if (op.target >= rows) {
+    if (op.target >= regs) {
       report(out, ViolationKind::kXorIndexOutOfBounds, kNoIndex, i,
-             "target " + size_str(op.target) + " >= " + size_str(rows));
+             "target " + size_str(op.target) + " >= " + size_str(regs));
       continue;
     }
     BitRow src;
     if (op.from_output) {
-      if (op.source >= rows) {
+      if (op.source >= regs) {
         report(out, ViolationKind::kXorIndexOutOfBounds, kNoIndex, i,
                "output source " + size_str(op.source) +
-                   " >= " + size_str(rows));
+                   " >= " + size_str(regs));
         continue;
       }
       if (op.source == op.target) {
@@ -349,11 +353,14 @@ VerifyResult verify_xor_schedule(const Matrix& g,
     written[op.target] = 1;
   }
 
+  // Cost honesty: naive_ops must equal u(G), the pure nonzero count of
+  // the matrix — recomputed here rather than trusted, so neither the
+  // greedy planner nor an optimizer rewrite can inflate its own baseline
+  // (zero-row fix-up ops count toward cost(), never toward naive_ops).
   std::size_t naive = 0;
   for (std::size_t r = 0; r < rows; ++r) {
     const BitRow expected = matrix_row_bits(g, r);
-    const std::size_t weight = bit_count(expected);
-    naive += weight == 0 ? 2 : weight;  // zero rows cost the 2-op fix-up
+    naive += bit_count(expected);
     if (written[r] == 0) {
       report(out, ViolationKind::kXorTargetNeverWritten, kNoIndex, kNoIndex,
              "matrix row " + size_str(r) + " is never written");

@@ -66,6 +66,8 @@ const char* kind_name(ViolationKind kind) {
       return "slice_misalignment";
     case ViolationKind::kUnorderedFromOutputUse:
       return "unordered_from_output_use";
+    case ViolationKind::kXorTargetSpanFragmented:
+      return "xor_target_span_fragmented";
   }
   return "unknown";
 }

@@ -52,7 +52,7 @@ enum class ViolationKind {
   kXorReadBeforeFinal,     ///< from_output source not yet finalized
   kXorTargetNeverWritten,  ///< a matrix row has no ops at all
   kXorWrongResult,         ///< symbolic replay differs from the matrix row
-  kXorCostMismatch,        ///< naive_ops != u(G) (+ zero-row fix-ups)
+  kXorCostMismatch,        ///< naive_ops != u(G), the matrix nonzero count
 
   // Concurrency-hazard invariants (analyze_hazard/): checks over the
   // dependency DAG of execution units the decoders would run in parallel.
@@ -62,6 +62,7 @@ enum class ViolationKind {
   kDependencyCycle,            ///< ordering edges form a cycle (no schedule)
   kSliceMisalignment,          ///< region slices unaligned or not an exact tiling
   kUnorderedFromOutputUse,     ///< from_output source not ordered before its use
+  kXorTargetSpanFragmented,    ///< a register's op span contains foreign ops
 };
 
 /// Stable lowercase identifier for a kind (e.g. "singular_f"); used in the

@@ -47,10 +47,11 @@ const std::vector<std::pair<ViolationKind, const char*>> kGoldenKinds = {
     {ViolationKind::kDependencyCycle, "dependency_cycle"},
     {ViolationKind::kSliceMisalignment, "slice_misalignment"},
     {ViolationKind::kUnorderedFromOutputUse, "unordered_from_output_use"},
+    {ViolationKind::kXorTargetSpanFragmented, "xor_target_span_fragmented"},
 };
 
 TEST(ViolationSchema, EveryKindStringIsPinned) {
-  ASSERT_EQ(kGoldenKinds.size(), 30u);
+  ASSERT_EQ(kGoldenKinds.size(), 31u);
   for (const auto& [kind, name] : kGoldenKinds) {
     EXPECT_STREQ(kind_name(kind), name);
   }

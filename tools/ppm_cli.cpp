@@ -10,6 +10,7 @@
 //                    [--scenario 1,5,9] [--sweep <disks>]
 //   ppm_cli analyze  --code <family> [params]      concurrency-hazard proof +
 //                    [--scenario 1,5,9] [--sweep <disks>]   critical-path bounds
+//                    [--optimize 1]   proof-carrying XOR-schedule superoptimizer
 //   ppm_cli store {build|ls|check|gc} --dir <dir>  persistent plan store:
 //                    [--code <family> [params]] [--sweep <disks>]
 //                    build/list/re-verify/garbage-collect plan records
@@ -463,9 +464,17 @@ int cmd_verify(const ErasureCode& code, const Args& args) {
 // binary sub-system's XOR schedule as a parallel program over target
 // units (analyze_schedule), and the region-split slice geometry the
 // BlockParallelDecoder would use for --block/--threads (analyze_slices).
-// Profile JSON on stdout; violations JSON on stdout with exit 1.
+// With --optimize 1, the proof-carrying superoptimizer (ppm::xoropt) runs
+// over every binary sub-system: the codec builds plans with the
+// optimize_xor knob, the CLI re-proves each optimized schedule
+// independently, and the sweep JSON gains naive/greedy/optimized op
+// totals plus accept/reject counts. Profile JSON on stdout; violations
+// JSON on stdout with exit 1.
 int cmd_analyze(const ErasureCode& code, const Args& args) {
-  Codec codec(code);
+  const bool optimize = args.get("optimize", 0) != 0;
+  Codec::Options codec_options;
+  codec_options.optimize_xor = optimize;
+  Codec codec(code, codec_options);
   const std::size_t block = args.get("block", 65536);
   const unsigned threads = static_cast<unsigned>(args.get("threads", 4));
   const unsigned sym = code.field().symbol_bytes();
@@ -481,6 +490,12 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
   std::size_t roundrobin_sum = 0;  // Algorithm-1 makespan, same lanes
   std::size_t max_width = 0;
   double best_speedup = 1.0;
+  std::size_t opt_naive_sum = 0;      // Σ u(M) over optimized sub-systems
+  std::size_t opt_greedy_sum = 0;     // Σ greedy schedule cost, same
+  std::size_t opt_optimized_sum = 0;  // Σ proven optimized cost, same
+  std::size_t opt_accepted = 0;
+  std::size_t opt_rejected = 0;
+  std::size_t opt_below_naive = 0;  // schedules strictly under u(M)
   std::string profile_json;  // per-scenario profile (last scenario wins)
   std::vector<planverify::Violation> violations;
 
@@ -536,6 +551,27 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
       if (!sched.has_value()) return;  // non-binary system: no XOR schedule
       ++schedules;
       take(hazard::analyze_schedule(*sched, applied), "xor schedule");
+      if (!optimize) return;
+      // Superoptimize and re-prove from the CLI's side — independent of
+      // the gate inside xoropt::optimize, so a bug in the accept path
+      // cannot certify its own output.
+      const auto result = xoropt::optimize(applied, *sched);
+      opt_naive_sum += sched->naive_ops;
+      opt_greedy_sum += sched->cost();
+      opt_optimized_sum += result.schedule.cost();
+      opt_accepted += result.stats.rewrites_accepted;
+      opt_rejected += result.stats.rewrites_rejected;
+      if (result.schedule.cost() < result.schedule.naive_ops) {
+        ++opt_below_naive;
+      }
+      const auto proof = xoropt::prove(applied, result.schedule);
+      if (!proof.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: scenario [%s] optimized xor schedule: "
+                     "%zu violation(s)\n",
+                     scenario_ids(sc).c_str(), proof.size());
+        violations.insert(violations.end(), proof.begin(), proof.end());
+      }
     };
     for (const SubPlan& sub : plan->groups()) check_schedule(sub);
     if (plan->rest().has_value()) check_schedule(*plan->rest());
@@ -589,6 +625,13 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
                "%zu XOR schedule(s), %zu slice fan-out(s)\n",
                code.name().c_str(), checked - undecodable_count,
                undecodable_count, schedules, slice_sets);
+  if (optimize) {
+    std::fprintf(stderr,
+                 "xoropt: naive=%zu greedy=%zu optimized=%zu accepted=%zu "
+                 "rejected=%zu below_naive=%zu\n",
+                 opt_naive_sum, opt_greedy_sum, opt_optimized_sum,
+                 opt_accepted, opt_rejected, opt_below_naive);
+  }
   if (!violations.empty()) {
     std::printf("%s\n", planverify::to_json(violations).c_str());
     std::fprintf(stderr, "FAIL: %zu violation(s)\n", violations.size());
@@ -600,13 +643,25 @@ int cmd_analyze(const ErasureCode& code, const Args& args) {
     return 2;
   }
   if (args.flags.contains("sweep")) {
+    std::string xoropt_json;
+    if (optimize) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"xoropt\":{\"naive_ops\":%zu,\"greedy_ops\":%zu,"
+                    "\"optimized_ops\":%zu,\"accepted\":%zu,"
+                    "\"rejected\":%zu,\"below_naive\":%zu}",
+                    opt_naive_sum, opt_greedy_sum, opt_optimized_sum,
+                    opt_accepted, opt_rejected, opt_below_naive);
+      xoropt_json = buf;
+    }
     std::printf("{\"scenarios\":%zu,\"undecodable\":%zu,\"schedules\":%zu,"
                 "\"work_mult_xors\":%zu,\"critical_path_mult_xors\":%zu,"
                 "\"max_width\":%zu,\"best_speedup_bound\":%.4f,"
                 "\"lanes\":%u,\"placed_makespan_mult_xors\":%zu,"
-                "\"roundrobin_makespan_mult_xors\":%zu}\n",
+                "\"roundrobin_makespan_mult_xors\":%zu%s}\n",
                 checked, undecodable_count, schedules, work_sum, critical_sum,
-                max_width, best_speedup, threads, placed_sum, roundrobin_sum);
+                max_width, best_speedup, threads, placed_sum, roundrobin_sum,
+                xoropt_json.c_str());
   } else if (!profile_json.empty()) {
     std::printf("%s\n", profile_json.c_str());
   }

@@ -9,6 +9,10 @@
 //   * the stripe passes syndrome verification afterwards;
 //   * the cached Codec plan for the scenario is planverify-clean, and a
 //     random binary matrix's XOR schedule survives symbolic replay;
+//   * the superoptimizer (ppm::xoropt) run over every random binary
+//     schedule only accepts rewrites that re-prove — symbolic GF(2)
+//     replay plus hazard analysis — and the optimized schedule decodes
+//     byte-identically to the serial greedy one;
 //   * the plan's parallel fan-out and the schedule's target units are
 //     hazard-free (ppm::hazard) with a sane parallelism profile
 //     (critical path <= total work, speedup bound >= 1);
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   std::size_t rejected = 0;
   std::size_t verified_plans = 0;
   std::size_t verified_schedules = 0;
+  std::size_t optimized_schedules = 0;
   std::size_t round_trips = 0;
   std::size_t corruption_drills = 0;
   while (clock.seconds() < budget) {
@@ -132,6 +137,61 @@ int main(int argc, char** argv) {
         return 1;
       }
       ++verified_schedules;
+
+      // Superoptimizer drill: every schedule goes through the rewrite
+      // pipeline. The result must carry a passing proof (an accepted
+      // rewrite without one is the bug this drill exists to catch), cost
+      // no more than the greedy input, keep honest books
+      // (accepted + rejected == passes), and decode byte-identically to
+      // the serial greedy schedule.
+      const auto opt = xoropt::optimize(g, *sched);
+      if (opt.stats.rewrites_accepted + opt.stats.rewrites_rejected !=
+              opt.stats.passes ||
+          opt.schedule.cost() > sched->cost() ||
+          opt.schedule.naive_ops != sched->naive_ops) {
+        std::fprintf(stderr, "FUZZ FAIL (xoropt stats incoherent)\n");
+        return 1;
+      }
+      const auto proof = xoropt::prove(g, opt.schedule);
+      if (!proof.empty()) {
+        std::fprintf(stderr, "FUZZ FAIL (xoropt accepted unproven):\n%s\n",
+                     planverify::to_json(proof).c_str());
+        return 1;
+      }
+      {
+        const std::size_t sbytes = 8 * (1 + rng.bounded(8));
+        std::vector<std::vector<std::uint8_t>> source_data(
+            scols, std::vector<std::uint8_t>(sbytes));
+        std::vector<std::uint8_t*> source_ptrs(scols);
+        for (std::size_t c = 0; c < scols; ++c) {
+          for (auto& b : source_data[c]) {
+            b = static_cast<std::uint8_t>(rng.bounded(256));
+          }
+          source_ptrs[c] = source_data[c].data();
+        }
+        std::vector<std::vector<std::uint8_t>> greedy_out(
+            srows, std::vector<std::uint8_t>(sbytes));
+        std::vector<std::vector<std::uint8_t>> opt_out(
+            srows, std::vector<std::uint8_t>(sbytes));
+        std::vector<std::uint8_t*> greedy_ptrs(srows);
+        std::vector<std::uint8_t*> opt_ptrs(srows);
+        for (std::size_t r = 0; r < srows; ++r) {
+          greedy_ptrs[r] = greedy_out[r].data();
+          opt_ptrs[r] = opt_out[r].data();
+        }
+        execute_xor_schedule(*sched, source_ptrs.data(), greedy_ptrs.data(),
+                             sbytes);
+        execute_xor_schedule(opt.schedule, srows, source_ptrs.data(),
+                             opt_ptrs.data(), sbytes);
+        for (std::size_t r = 0; r < srows; ++r) {
+          if (greedy_out[r] != opt_out[r]) {
+            std::fprintf(stderr,
+                         "FUZZ FAIL (xoropt bytes diverge at row %zu)\n", r);
+            return 1;
+          }
+        }
+      }
+      ++optimized_schedules;
     }
     const auto code = random_code(rng);
     const std::size_t block =
@@ -318,8 +378,10 @@ int main(int argc, char** argv) {
   }
   std::printf("ppm_fuzz: %zu trials in %.1fs (%zu decodable, %zu beyond "
               "tolerance), %zu plans + %zu XOR schedules verifier-clean, "
+              "%zu schedules superoptimized proof-clean, "
               "%zu store round trips, %zu corruption drills, 0 failures\n",
               trials, clock.seconds(), decodable, rejected, verified_plans,
-              verified_schedules, round_trips, corruption_drills);
+              verified_schedules, optimized_schedules, round_trips,
+              corruption_drills);
   return 0;
 }
