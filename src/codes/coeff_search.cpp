@@ -5,9 +5,9 @@
 #include <stdexcept>
 #include <tuple>
 
-#include "codes/sd_code.h"
-#include "common/rng.h"
-#include "matrix/matrix.h"
+#include "common/metrics.h"
+#include "search_coeff/cert_store.h"
+#include "search_coeff/search.h"
 
 namespace ppm {
 
@@ -17,129 +17,136 @@ using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
                        unsigned>;
 
 std::mutex g_cache_mutex;
+// Serializes the miss path so concurrent constructions of the same
+// geometry run one certification, not eight.
+std::mutex g_search_mutex;
+
 std::map<Key, std::vector<gf::Element>>& cache() {
   static std::map<Key, std::vector<gf::Element>> c;
   return c;
 }
 
-// One worst-case scenario: m random whole disks plus s sectors confined to
-// z rows on the surviving disks.
-std::vector<std::size_t> sample_scenario(std::size_t n, std::size_t r,
-                                         std::size_t m, std::size_t s,
-                                         std::size_t z, Rng& rng) {
-  std::vector<std::size_t> disks;
-  while (disks.size() < m) {
-    const std::size_t d = rng.bounded(n);
-    bool dup = false;
-    for (const std::size_t e : disks) dup |= (e == d);
-    if (!dup) disks.push_back(d);
-  }
-  std::vector<std::size_t> rows;
-  while (rows.size() < z) {
-    const std::size_t row = rng.bounded(r);
-    bool dup = false;
-    for (const std::size_t e : rows) dup |= (e == row);
-    if (!dup) rows.push_back(row);
-  }
-  std::vector<std::size_t> blocks;
-  for (const std::size_t d : disks) {
-    for (std::size_t i = 0; i < r; ++i) blocks.push_back(i * n + d);
-  }
-  // One sector per chosen row first, the remainder anywhere in those rows.
-  auto in_failed_disk = [&](std::size_t d) {
-    for (const std::size_t e : disks) {
-      if (e == d) return true;
-    }
-    return false;
-  };
-  std::size_t placed = 0;
-  auto try_place = [&](std::size_t row) {
-    const std::size_t d = rng.bounded(n);
-    if (in_failed_disk(d)) return false;
-    const std::size_t b = row * n + d;
-    for (const std::size_t e : blocks) {
-      if (e == b) return false;
-    }
-    blocks.push_back(b);
-    ++placed;
-    return true;
-  };
-  for (const std::size_t row : rows) {
-    while (!try_place(row)) {
-    }
-  }
-  while (placed < s) {
-    try_place(rows[rng.bounded(z)]);
-  }
-  return blocks;
-}
-
-bool scenario_decodable(const Matrix& h, std::span<const std::size_t> faulty) {
-  const Matrix f = h.select_columns(faulty);
-  return f.rank() == f.cols();
+/// Proof strength applied at code construction. The exact/stratified
+/// limits are lower than the CLI defaults (CertifyOptions) so that
+/// constructing a code stays interactive even for the largest paper
+/// geometries; the `search` CI job re-certifies every shipped geometry
+/// at full strength. A persisted record must be at least this strong to
+/// be served (CertStore::load's minimum-strength gate).
+coeffsearch::CertifyOptions construction_options() {
+  coeffsearch::CertifyOptions opts;
+  opts.exact_class_limit = 200'000;
+  opts.stratified_classes = 20'000;
+  opts.plan_budget = 32;
+  opts.optimize_xor = true;
+  return opts;
 }
 
 }  // namespace
 
 bool validate_sd_coefficients(std::size_t n, std::size_t r, std::size_t m,
                               std::size_t s, unsigned w,
-                              std::span<const gf::Element> coeffs,
-                              unsigned samples) {
-  const gf::Field& f = gf::field(w);
-  const Matrix h = SDCode::build_parity_check(f, n, r, m, s, coeffs);
-
-  // The encoding scenario (all parity blocks unknown) must be solvable.
-  const auto parity = SDCode::parity_block_ids(n, r, m, s);
-  if (!scenario_decodable(h, parity)) return false;
-
-  // Sampled worst-case decodes for every sector-row concentration z.
-  Rng rng(0x5D00D5 + n * 1315423911u + r * 2654435761u + m * 97 + s * 31 + w);
-  const std::size_t z_max = std::min(s, r);
-  for (std::size_t z = 1; z <= z_max; ++z) {
-    if (s > z * (n - m)) continue;  // s sectors cannot fit in z rows
-    for (unsigned i = 0; i < samples; ++i) {
-      const auto faulty = sample_scenario(n, r, m, s, z, rng);
-      if (!scenario_decodable(h, faulty)) return false;
-    }
-  }
-  return true;
+                              std::span<const gf::Element> coeffs) {
+  const coeffsearch::Geometry g{n, r, m, s, w};
+  coeffsearch::validate_geometry(g);  // throws on degenerate geometries
+  if (coeffs.size() != m + s) return false;
+  // Rank-only certification: exhaustive (up to the construction-path
+  // class limits) but without plan proofs — callers validating foreign
+  // tuples want the decodability verdict, not a plan profile.
+  coeffsearch::CertifyOptions opts = construction_options();
+  opts.plan_budget = 0;
+  opts.optimize_xor = false;
+  return coeffsearch::certify_tuple(g, coeffs, opts).certified;
 }
 
 std::vector<gf::Element> sd_coefficients(std::size_t n, std::size_t r,
                                          std::size_t m, std::size_t s,
                                          unsigned w) {
+  const coeffsearch::Geometry g{n, r, m, s, w};
+  coeffsearch::validate_geometry(g);
+  SearchMetrics& metrics = search_metrics();
   const Key key{n, r, m, s, w};
   {
     const std::scoped_lock lock(g_cache_mutex);
     auto it = cache().find(key);
-    if (it != cache().end()) return it->second;
+    if (it != cache().end()) {
+      metrics.cache_hits.add();
+      return it->second;
+    }
   }
 
-  const gf::Field& f = gf::field(w);
-  const std::size_t count = m + s;
+  const std::scoped_lock search_lock(g_search_mutex);
+  {
+    // Double-check: another thread may have finished this geometry
+    // while we waited on the search lock.
+    const std::scoped_lock lock(g_cache_mutex);
+    auto it = cache().find(key);
+    if (it != cache().end()) {
+      metrics.cache_hits.add();
+      return it->second;
+    }
+  }
+  metrics.searches.add();
 
-  // Candidate 0: consecutive powers of alpha — a = (1, 2, 4, 8, ...), the
-  // natural generalization of the paper's SD^{1,1}(8|1,2) example. Further
-  // candidates draw random exponents, mirroring the published search.
-  Rng rng(0xC0EF5EED ^ (n << 16) ^ (r << 8) ^ (m << 4) ^ s ^ w);
-  constexpr unsigned kBudget = 400;
-  for (unsigned attempt = 0; attempt < kBudget; ++attempt) {
-    std::vector<gf::Element> coeffs(count);
-    coeffs[0] = 1;
-    if (attempt == 0) {
-      for (std::size_t q = 1; q < count; ++q) coeffs[q] = f.exp2(q);
-    } else {
-      for (std::size_t q = 1; q < count; ++q) {
-        coeffs[q] = f.exp2(1 + rng.bounded(f.max_element() - 1));
+  const coeffsearch::CertifyOptions require = construction_options();
+  const std::shared_ptr<coeffsearch::CertStore> store =
+      coeffsearch::default_cert_store();
+  coeffsearch::Certificate cert;
+  bool have_cert = false;
+
+  // Zero-trust store hit: the record is re-proven in full before a
+  // single byte of it is served (see cert_store.h).
+  if (store != nullptr &&
+      store->load(g, require, &cert) ==
+          coeffsearch::CertStore::LoadResult::kLoaded) {
+    have_cert = true;
+  }
+
+  if (!have_cert) {
+    // Phase 1: look for a *perfect* tuple — one that certifies with
+    // zero deficient classes.
+    coeffsearch::SearchOptions opts;
+    opts.candidate_budget = 96;
+    opts.certify = require;
+    coeffsearch::CertifyResult found = coeffsearch::certify_first(g, opts);
+    if (!found.certified) {
+      // Phase 2: no perfect tuple within budget. Several shipped
+      // geometries (e.g. SD^{2,2}_{8,8} over GF(2^8)) provably have
+      // none — matching the gaps in Plank's published tables. Serve
+      // the historical consecutive-powers tuple, but attach its full
+      // exhaustive characterization so the deficiency is on the
+      // record instead of silently sampled away.
+      const gf::Field& f = gf::field(w);
+      std::vector<gf::Element> fallback(m + s);
+      for (std::size_t q = 0; q < fallback.size(); ++q) {
+        fallback[q] = f.exp2(q);
+      }
+      coeffsearch::CertifyOptions characterize = require;
+      characterize.allow_deficient = true;
+      found = coeffsearch::certify_tuple(g, fallback, characterize);
+      if (!found.certified) {
+        throw std::runtime_error("sd_coefficients: " + found.reason);
       }
     }
-    if (validate_sd_coefficients(n, r, m, s, w, coeffs)) {
-      const std::scoped_lock lock(g_cache_mutex);
-      cache().emplace(key, coeffs);
-      return coeffs;
-    }
+    cert = std::move(found.cert);
+    have_cert = true;
+    if (store != nullptr) store->put(cert);
   }
-  throw std::runtime_error("sd_coefficients: search budget exhausted");
+
+  {
+    const std::scoped_lock lock(g_cache_mutex);
+    cache().emplace(key, cert.tuple);
+  }
+  return cert.tuple;
+}
+
+std::size_t sd_coefficient_cache_entries() {
+  const std::scoped_lock lock(g_cache_mutex);
+  return cache().size();
+}
+
+void clear_sd_coefficient_cache() {
+  const std::scoped_lock lock(g_cache_mutex);
+  cache().clear();
 }
 
 }  // namespace ppm

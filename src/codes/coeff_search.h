@@ -1,13 +1,21 @@
-// Coefficient search and validation for SD-family codes.
+// Certified coefficient search for SD-family codes.
 //
-// The published SD codes use coding coefficients found by computer search
-// (the paper's example: SD^{2,2}_{6,4}(8|1, 42, 26, 61)). We reproduce that
-// search: candidate coefficient tuples (a_0 = 1 always) are validated
-// against the encoding scenario and a deterministic sample of worst-case
-// failure scenarios (m whole disks + s sectors); the first tuple whose
-// decoding matrices are all invertible wins. Results are cached per
-// (n, r, m, s, w) for the duration of the process so parameter sweeps pay
-// the search once.
+// The published SD codes use coding coefficients found by computer
+// search (the paper's example: SD^{2,2}_{6,4}(8|1, 42, 26, 61)). Until
+// PR 8 this module reproduced that search with a *sampled* acceptance
+// test — 12 random worst-case scenarios per sector concentration —
+// which can (and for some geometries does) accept tuples with
+// undecodable corner cases. It now fronts the exhaustive verifier-
+// guided oracle in search_coeff/: every tuple served by
+// sd_coefficients() carries a machine-checkable Certificate proving
+// full column rank for every canonical worst-case scenario class
+// (symmetry-reduced, exhaustive up to the recorded class limit) plus
+// static plan proofs (planverify + hazard) on a recorded subset.
+//
+// Results are cached per (n, r, m, s, w) for the process lifetime, and
+// — when a certificate store is attached (search_coeff/cert_store.h,
+// PPM_CERT_DIR) — persisted across processes under the store's
+// zero-trust re-proof-on-load contract.
 #pragma once
 
 #include <cstddef>
@@ -18,20 +26,30 @@
 
 namespace ppm {
 
-/// Searched (and cached) coefficients for SD^{m,s}_{n,r} over GF(2^w).
-/// Throws std::runtime_error if no valid tuple is found within the
-/// candidate budget (does not happen for the parameter ranges of the paper,
-/// n,r <= 24, m,s <= 3).
+/// Certified (and cached) coefficients for SD^{m,s}_{n,r} over GF(2^w).
+/// Throws std::invalid_argument for degenerate geometries (m == 0,
+/// m >= n, too many sectors, field too small) and std::runtime_error if
+/// no tuple certifies within the candidate budget (does not happen for
+/// the parameter ranges of the paper, n,r <= 24, m,s <= 3).
 std::vector<gf::Element> sd_coefficients(std::size_t n, std::size_t r,
                                          std::size_t m, std::size_t s,
                                          unsigned w);
 
-/// Validate a coefficient tuple: true iff the encoding scenario and
-/// `samples` sampled worst-case decoding scenarios (per z in [1, min(s,r)])
-/// all yield full-rank decoding systems.
+/// Exhaustive validation of a coefficient tuple: true iff the encoding
+/// scenario and every enumerated canonical worst-case scenario class
+/// yield full-rank decoding systems (rank-only certification; plan
+/// proofs are the construction path's job). False on a tuple of the
+/// wrong arity. Throws std::invalid_argument for degenerate geometries
+/// instead of looping or sampling them.
 bool validate_sd_coefficients(std::size_t n, std::size_t r, std::size_t m,
                               std::size_t s, unsigned w,
-                              std::span<const gf::Element> coeffs,
-                              unsigned samples = 12);
+                              std::span<const gf::Element> coeffs);
+
+/// Number of geometries with an in-process cached tuple.
+std::size_t sd_coefficient_cache_entries();
+
+/// Drops the in-process tuple cache (certificate-store records are
+/// untouched). Test hook.
+void clear_sd_coefficient_cache();
 
 }  // namespace ppm

@@ -179,4 +179,47 @@ std::string CodecMetrics::to_json() const {
   return out;
 }
 
+void SearchMetrics::reset() {
+  searches.reset();
+  cache_hits.reset();
+  tuples_considered.reset();
+  tuples_prescreened.reset();
+  tuples_certified.reset();
+  tuples_rejected.reset();
+  classes_rank_checked.reset();
+  plans_proven.reset();
+  cert_loads.reset();
+  cert_load_failures.reset();
+  cert_quarantined.reset();
+  cert_stores.reset();
+  certify_seconds.reset();
+}
+
+std::string SearchMetrics::to_json() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"search\":{";
+  append_kv(out, "searches", searches.value());
+  append_kv(out, "cache_hits", cache_hits.value());
+  append_kv(out, "tuples_considered", tuples_considered.value());
+  append_kv(out, "tuples_prescreened", tuples_prescreened.value());
+  append_kv(out, "tuples_certified", tuples_certified.value());
+  append_kv(out, "tuples_rejected", tuples_rejected.value());
+  append_kv(out, "classes_rank_checked", classes_rank_checked.value());
+  append_kv(out, "plans_proven", plans_proven.value());
+  append_kv(out, "cert_loads", cert_loads.value());
+  append_kv(out, "cert_load_failures", cert_load_failures.value());
+  append_kv(out, "cert_quarantined", cert_quarantined.value());
+  append_kv(out, "cert_stores", cert_stores.value());
+  out += "\"certify\":";
+  certify_seconds.append_json(out);
+  out += "}}";
+  return out;
+}
+
+SearchMetrics& search_metrics() {
+  static SearchMetrics metrics;
+  return metrics;
+}
+
 }  // namespace ppm

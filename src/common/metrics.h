@@ -198,4 +198,35 @@ struct CodecMetrics {
   std::string to_json() const;
 };
 
+/// Coefficient certification & search metrics (search_coeff/). Process-
+/// global rather than per-codec: certification runs once per geometry and
+/// is shared by every SDCode/PMDSCode construction in the process. Every
+/// member is individually thread-safe.
+struct SearchMetrics {
+  Counter searches;            ///< certified searches run (cache misses)
+  Counter cache_hits;          ///< sd_coefficients served from memory
+  Counter tuples_considered;   ///< candidate tuples drawn
+  Counter tuples_prescreened;  ///< candidates killed by the rank prescreen
+  Counter tuples_certified;    ///< candidates that proved exhaustively
+  Counter tuples_rejected;     ///< candidates refuted by the oracle
+  Counter classes_rank_checked;  ///< scenario classes rank-proven
+  Counter plans_proven;          ///< classes driven through planverify+hazard
+
+  // Certificate store (search_coeff/cert_store.h; zero-trust contract).
+  Counter cert_loads;          ///< certificates re-proven and served
+  Counter cert_load_failures;  ///< records failing parse or re-proof
+  Counter cert_quarantined;    ///< records renamed aside as untrusted
+  Counter cert_stores;         ///< certificates written to disk
+
+  LatencyHistogram certify_seconds;  ///< per-tuple certification wall time
+
+  void reset();
+
+  /// `{"search":{...}}` — the export format of `ppm_cli search --metrics`.
+  std::string to_json() const;
+};
+
+/// The process-global search metric set.
+SearchMetrics& search_metrics();
+
 }  // namespace ppm

@@ -60,6 +60,10 @@
 #include "parallel/dag_executor.h"
 #include "parallel/task_group.h"
 #include "plan_store/plan_store.h"
+#include "search_coeff/cert_store.h"
+#include "search_coeff/certify.h"
+#include "search_coeff/scenario_enum.h"
+#include "search_coeff/search.h"
 #include "sim/array_sim.h"
 #include "verify_plan/plan_verify.h"
 #include "verify_plan/violation.h"

@@ -1,0 +1,287 @@
+#include "search_coeff/cert_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/metrics.h"
+
+namespace ppm::coeffsearch {
+namespace {
+
+constexpr const char* kMagic = "PPMCERT";
+constexpr const char* kCertSuffix = ".cert";
+constexpr const char* kQuarantineSuffix = ".quarantined";
+constexpr const char* kTmpSuffix = ".tmp";
+
+bool read_file(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return in.good() || in.eof();
+}
+
+// Splits "PPMCERT <version> <crc32 hex> <len>\n<payload>" and checks
+// the seal. Returns false with `why` set on any structural problem.
+bool unseal(const std::string& raw, std::string* payload,
+            std::string* why) {
+  const std::size_t nl = raw.find('\n');
+  if (nl == std::string::npos) {
+    *why = "missing header line";
+    return false;
+  }
+  const std::string header = raw.substr(0, nl);
+  char magic[16] = {};
+  std::uint64_t version = 0;
+  std::uint64_t crc = 0;
+  std::uint64_t len = 0;
+  if (std::sscanf(header.c_str(), "%15s %" SCNu64 " %" SCNx64 " %" SCNu64,
+                  magic, &version, &crc, &len) != 4 ||
+      std::string(magic) != kMagic) {
+    *why = "malformed header";
+    return false;
+  }
+  if (version != kCertFormatVersion) {
+    *why = "unsupported record version";
+    return false;
+  }
+  *payload = raw.substr(nl + 1);
+  if (payload->size() != len) {
+    *why = "length mismatch (torn write?)";
+    return false;
+  }
+  if (crc32(payload->data(), payload->size()) != crc) {
+    *why = "CRC mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CertStore::CertStore(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string CertStore::record_filename(const Geometry& g) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "sd-n%zu-r%zu-m%zu-s%zu-w%u%s", g.n,
+                g.r, g.m, g.s, g.w, kCertSuffix);
+  return buf;
+}
+
+bool CertStore::put(const Certificate& cert) {
+  const std::string payload = cert.to_json();
+  char header[64];
+  std::snprintf(header, sizeof header, "%s %" PRIu64 " %08" PRIx64
+                " %zu\n",
+                kMagic, kCertFormatVersion,
+                static_cast<std::uint64_t>(
+                    crc32(payload.data(), payload.size())),
+                payload.size());
+  std::scoped_lock lock(mutex_);
+  const std::filesystem::path path =
+      dir_ / record_filename(cert.geometry);
+  const std::filesystem::path tmp = path.string() + kTmpSuffix;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << header << payload;
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  search_metrics().cert_stores.add();
+  return true;
+}
+
+void CertStore::quarantine(const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + kQuarantineSuffix, ec);
+  search_metrics().cert_quarantined.add();
+}
+
+CertStore::LoadResult CertStore::load_path(
+    const std::filesystem::path& path, const Geometry* expect_geometry,
+    const CertifyOptions* require, Certificate* out, std::string* why) {
+  SearchMetrics& metrics = search_metrics();
+  std::string raw;
+  if (!read_file(path, &raw)) return LoadResult::kMissing;
+  const auto fail = [&](const std::string& reason) {
+    if (why) *why = reason;
+    quarantine(path);
+    metrics.cert_load_failures.add();
+    return LoadResult::kRejected;
+  };
+  std::string payload;
+  std::string reason;
+  if (!unseal(raw, &payload, &reason)) return fail(reason);
+  Certificate record;
+  if (!parse_certificate(payload, &record, &reason)) return fail(reason);
+  if (record.family != "sd") return fail("unknown family");
+  if (expect_geometry != nullptr &&
+      !(record.geometry == *expect_geometry)) {
+    return fail("geometry mismatch");
+  }
+  if (require != nullptr) {
+    if (record.exact_class_limit < require->exact_class_limit ||
+        record.stratified_classes < require->stratified_classes ||
+        record.plan_budget < require->plan_budget ||
+        (require->optimize_xor && !record.optimize_xor)) {
+      return fail("recorded proof weaker than required");
+    }
+  }
+  // Zero trust: re-run the full certification with the record's own
+  // options and demand exact equality. Anything the record claims that
+  // the oracles do not reproduce — census, strata, profiles, the tuple
+  // itself — quarantines it.
+  CertifyOptions reproof;
+  reproof.exact_class_limit = record.exact_class_limit;
+  reproof.stratified_classes = record.stratified_classes;
+  reproof.plan_budget = record.plan_budget;
+  reproof.optimize_xor = record.optimize_xor;
+  // Characterization mode is observationally identical for perfect
+  // tuples and required to reproduce best-effort records; the exact
+  // equality check below pins the recorded deficiency counts either
+  // way, so a record claiming perfection for an imperfect tuple (or
+  // vice versa) still quarantines.
+  reproof.allow_deficient = true;
+  CertifyResult fresh;
+  try {
+    fresh = certify_tuple(record.geometry, record.tuple, reproof);
+  } catch (const std::invalid_argument&) {
+    return fail("recorded geometry is degenerate");
+  }
+  if (!fresh.certified) {
+    return fail("re-proof refuted the record: " + fresh.reason);
+  }
+  if (!(fresh.cert == record)) {
+    return fail("re-proof disagrees with the record");
+  }
+  if (out != nullptr) *out = std::move(fresh.cert);
+  metrics.cert_loads.add();
+  return LoadResult::kLoaded;
+}
+
+CertStore::LoadResult CertStore::load(const Geometry& g,
+                                      const CertifyOptions& require,
+                                      Certificate* out,
+                                      std::string* why) {
+  std::scoped_lock lock(mutex_);
+  return load_path(dir_ / record_filename(g), &g, &require, out, why);
+}
+
+std::vector<CertStore::Entry> CertStore::list() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<Entry> out;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    const bool quarantined = name.ends_with(kQuarantineSuffix);
+    if (!name.ends_with(kCertSuffix) && !quarantined) continue;
+    Entry e;
+    e.filename = name;
+    std::error_code size_ec;
+    e.bytes = std::filesystem::file_size(de.path(), size_ec);
+    e.quarantined = quarantined;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.filename < b.filename;
+            });
+  return out;
+}
+
+CertStore::CheckReport CertStore::check() {
+  std::scoped_lock lock(mutex_);
+  CheckReport report;
+  std::vector<std::filesystem::path> records;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (de.path().filename().string().ends_with(kCertSuffix)) {
+      records.push_back(de.path());
+    }
+  }
+  std::sort(records.begin(), records.end());
+  for (const auto& path : records) {
+    ++report.checked;
+    std::string why;
+    if (load_path(path, nullptr, nullptr, nullptr, &why) ==
+        LoadResult::kLoaded) {
+      ++report.verified;
+    } else {
+      ++report.quarantined;
+    }
+  }
+  return report;
+}
+
+CertStore::GcReport CertStore::gc() {
+  std::scoped_lock lock(mutex_);
+  GcReport report;
+  std::vector<std::filesystem::path> doomed_quarantine;
+  std::vector<std::filesystem::path> doomed_tmp;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.ends_with(kQuarantineSuffix)) {
+      doomed_quarantine.push_back(de.path());
+    } else if (name.ends_with(kTmpSuffix)) {
+      doomed_tmp.push_back(de.path());
+    }
+  }
+  for (const auto& p : doomed_quarantine) {
+    std::error_code rm;
+    if (std::filesystem::remove(p, rm)) ++report.removed_quarantined;
+  }
+  for (const auto& p : doomed_tmp) {
+    std::error_code rm;
+    if (std::filesystem::remove(p, rm)) ++report.removed_tmp;
+  }
+  return report;
+}
+
+namespace {
+
+std::mutex g_default_store_mutex;
+std::shared_ptr<CertStore> g_default_store;
+bool g_default_store_initialized = false;
+
+}  // namespace
+
+std::shared_ptr<CertStore> default_cert_store() {
+  std::scoped_lock lock(g_default_store_mutex);
+  if (!g_default_store_initialized) {
+    g_default_store_initialized = true;
+    if (const char* dir = std::getenv("PPM_CERT_DIR");
+        dir != nullptr && *dir != '\0') {
+      g_default_store = std::make_shared<CertStore>(dir);
+    }
+  }
+  return g_default_store;
+}
+
+void set_default_cert_store(std::shared_ptr<CertStore> store) {
+  std::scoped_lock lock(g_default_store_mutex);
+  g_default_store_initialized = true;
+  g_default_store = std::move(store);
+}
+
+}  // namespace ppm::coeffsearch

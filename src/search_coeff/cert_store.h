@@ -1,0 +1,99 @@
+// Persistent store for coefficient certificates (search_coeff/), with
+// the same zero-trust contract as the plan store (plan_store/):
+//
+//  * Records are sealed — `PPMCERT <version> <crc32> <len>` header over
+//    the certificate JSON — and written atomically (temp file + rename).
+//  * Nothing on disk is ever trusted. load() parses the record, checks
+//    the seal, then *re-runs the entire certification* with the
+//    record's own proof options (certify_tuple is deterministic) and
+//    demands exact semantic equality with the record. Any mismatch —
+//    torn write, bit rot, tampering, an oracle version bump — renames
+//    the file aside as `<name>.quarantined` and reports kRejected; the
+//    caller re-searches and overwrites. A served tuple is therefore
+//    always one this process proved itself.
+//  * Records weaker than the caller's required proof strength (smaller
+//    exact/stratified/plan budgets) are rejected the same way: passing
+//    a weak re-proof must not satisfy a strong requirement.
+//
+// SdCode/PmdsCode construction consumes this store through
+// default_cert_store() (settable in-process, or via the PPM_CERT_DIR
+// environment variable), so a fleet can certify once and restart
+// cheaply — paying one re-proof instead of a full search.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search_coeff/certify.h"
+
+namespace ppm::coeffsearch {
+
+class CertStore {
+ public:
+  /// Opens (and creates, if needed) `directory`.
+  explicit CertStore(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// Seals and atomically publishes `cert`, overwriting any previous
+  /// record for its geometry. Returns false on I/O failure.
+  bool put(const Certificate& cert);
+
+  enum class LoadResult { kLoaded, kMissing, kRejected };
+
+  /// Zero-trust load of the record for `g`: seal check, parse,
+  /// geometry match, minimum proof strength vs `require`, then a full
+  /// re-certification compared exactly against the record. On success
+  /// `out` receives the (re-proven) certificate; on any failure the
+  /// record is quarantined and kRejected returned.
+  LoadResult load(const Geometry& g, const CertifyOptions& require,
+                  Certificate* out, std::string* why = nullptr);
+
+  struct Entry {
+    std::string filename;
+    std::uintmax_t bytes = 0;
+    bool quarantined = false;
+  };
+  std::vector<Entry> list() const;
+
+  struct CheckReport {
+    std::size_t checked = 0;
+    std::size_t verified = 0;
+    std::size_t quarantined = 0;
+  };
+  /// Re-proves every record in the store (each with its own recorded
+  /// options); failing records are quarantined.
+  CheckReport check();
+
+  struct GcReport {
+    std::size_t removed_quarantined = 0;
+    std::size_t removed_tmp = 0;
+  };
+  /// Removes quarantined records and stale temp files.
+  GcReport gc();
+
+  static std::string record_filename(const Geometry& g);
+
+ private:
+  LoadResult load_path(const std::filesystem::path& path,
+                       const Geometry* expect_geometry,
+                       const CertifyOptions* require, Certificate* out,
+                       std::string* why);
+  void quarantine(const std::filesystem::path& path);
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;
+};
+
+/// The store sd_coefficients() consults. Defaults to a store over
+/// $PPM_CERT_DIR when that is set, nullptr (no persistence) otherwise.
+std::shared_ptr<CertStore> default_cert_store();
+
+/// Overrides the default store (nullptr detaches). Thread-safe.
+void set_default_cert_store(std::shared_ptr<CertStore> store);
+
+}  // namespace ppm::coeffsearch

@@ -1,0 +1,418 @@
+#include "search_coeff/scenario_enum.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace ppm::coeffsearch {
+namespace {
+
+std::uint64_t binomial(std::uint64_t k, std::uint64_t j) {
+  if (j > k) return 0;
+  j = std::min(j, k - j);
+  std::uint64_t out = 1;
+  for (std::uint64_t i = 1; i <= j; ++i) out = out * (k - j + i) / i;
+  return out;
+}
+
+// Ordered compositions of `s` into `z` positive parts, each part at most
+// `cap`. Calls `fn` with the parts vector; returns false if `fn` did.
+bool for_each_composition(std::size_t s, std::size_t z, std::size_t cap,
+                          std::vector<std::size_t>& parts,
+                          const std::function<bool(
+                              const std::vector<std::size_t>&)>& fn) {
+  if (z == 0) return s != 0 || fn(parts);
+  for (std::size_t first = 1; first <= std::min(cap, s - (z - 1));
+       ++first) {
+    parts.push_back(first);
+    const bool keep =
+        for_each_composition(s - first, z - 1, cap, parts, fn);
+    parts.pop_back();
+    if (!keep) return false;
+  }
+  return true;
+}
+
+// Universe size over k columns: C(k,m) disk choices times, per stratum,
+// independent per-row column choices among the k-m survivors.
+std::uint64_t universe(const Geometry& g, std::size_t k) {
+  if (k < g.m) return 0;
+  const std::uint64_t disk_sets = binomial(k, g.m);
+  if (g.s == 0) return disk_sets;
+  const std::size_t survivors = k - g.m;
+  std::uint64_t sectors = 0;
+  std::vector<std::size_t> parts;
+  for (std::size_t z = 1; z <= std::min(g.s, g.r); ++z) {
+    if (g.s > z * survivors) continue;
+    std::uint64_t per_rows = 0;
+    for_each_composition(
+        g.s, z, survivors, parts,
+        [&](const std::vector<std::size_t>& loads) {
+          std::uint64_t ways = 1;
+          for (const std::size_t load : loads) {
+            ways *= binomial(survivors, load);
+          }
+          per_rows += ways;
+          return true;
+        });
+    sectors += binomial(g.r, z) * per_rows;
+  }
+  return disk_sets * sectors;
+}
+
+struct Emitter {
+  const Geometry& g;
+  const std::function<bool(const ScenarioClass&)>& visit;
+  std::uint64_t visited = 0;
+  bool stopped = false;
+
+  // Emits iff the pattern is canonical (minimum involved column == 0).
+  void emit(const std::vector<std::size_t>& disks,
+            const std::vector<std::size_t>& sector_cells,
+            const std::vector<std::size_t>& loads) {
+    std::size_t min_col = disks.empty() ? g.n : disks.front();
+    std::size_t max_col = disks.empty() ? 0 : disks.back();
+    for (const std::size_t cell : sector_cells) {
+      min_col = std::min(min_col, cell % g.n);
+      max_col = std::max(max_col, cell % g.n);
+    }
+    if (min_col != 0) return;
+    ScenarioClass cls;
+    cls.disks = disks;
+    cls.sectors = sector_cells;
+    std::sort(cls.sectors.begin(), cls.sectors.end());
+    cls.z = loads.size();
+    cls.row_loads = loads;
+    std::sort(cls.row_loads.begin(), cls.row_loads.end(),
+              std::greater<>());
+    cls.members = g.n - max_col;
+    ++visited;
+    if (!visit(cls)) stopped = true;
+  }
+};
+
+// Chooses `load` distinct columns for each chosen row in turn, then
+// emits. Rows are processed in order; `cols` accumulates block ids.
+void place_rows(Emitter& em, const std::vector<std::size_t>& disks,
+                const std::vector<std::size_t>& survivors,
+                const std::vector<std::size_t>& rows,
+                const std::vector<std::size_t>& loads,
+                std::size_t row_idx, std::vector<std::size_t>& cells) {
+  if (em.stopped) return;
+  if (row_idx == rows.size()) {
+    em.emit(disks, cells, loads);
+    return;
+  }
+  const std::size_t load = loads[row_idx];
+  const std::size_t row = rows[row_idx];
+  std::vector<std::size_t> combo(load);
+  const auto recurse = [&](auto&& self, std::size_t next,
+                           std::size_t depth) -> void {
+    if (em.stopped) return;
+    if (depth == load) {
+      place_rows(em, disks, survivors, rows, loads, row_idx + 1, cells);
+      return;
+    }
+    for (std::size_t i = next;
+         i + (load - depth) <= survivors.size(); ++i) {
+      cells.push_back(row * em.g.n + survivors[i]);
+      self(self, i + 1, depth + 1);
+      cells.pop_back();
+    }
+  };
+  recurse(recurse, 0, 0);
+}
+
+void for_each_subset(std::size_t universe, std::size_t size,
+                     std::vector<std::size_t>& combo,
+                     const std::function<void()>& leaf, bool& stopped) {
+  if (combo.size() == size) {
+    leaf();
+    return;
+  }
+  const std::size_t next = combo.empty() ? 0 : combo.back() + 1;
+  for (std::size_t i = next; i + (size - combo.size()) <= universe;
+       ++i) {
+    if (stopped) return;
+    combo.push_back(i);
+    for_each_subset(universe, size, combo, leaf, stopped);
+    combo.pop_back();
+  }
+}
+
+std::uint64_t enumerate_exact(
+    const Geometry& g,
+    const std::function<bool(const ScenarioClass&)>& visit) {
+  Emitter em{g, visit};
+  std::vector<std::size_t> disks;
+  bool& stopped = em.stopped;
+  for_each_subset(
+      g.n, g.m, disks,
+      [&] {
+        std::vector<std::size_t> survivors;
+        for (std::size_t c = 0; c < g.n; ++c) {
+          if (!std::binary_search(disks.begin(), disks.end(), c)) {
+            survivors.push_back(c);
+          }
+        }
+        if (g.s == 0) {
+          std::vector<std::size_t> none;
+          em.emit(disks, none, none);
+          return;
+        }
+        for (std::size_t z = 1; z <= std::min(g.s, g.r); ++z) {
+          if (g.s > z * survivors.size()) continue;
+          std::vector<std::size_t> rows;
+          for_each_subset(
+              g.r, z, rows,
+              [&] {
+                std::vector<std::size_t> parts;
+                for_each_composition(
+                    g.s, z, survivors.size(), parts,
+                    [&](const std::vector<std::size_t>& loads) {
+                      std::vector<std::size_t> cells;
+                      place_rows(em, disks, survivors, rows, loads, 0,
+                                 cells);
+                      return !em.stopped;
+                    });
+              },
+              em.stopped);
+          if (em.stopped) break;
+        }
+      },
+      stopped);
+  return em.visited;
+}
+
+std::uint64_t stratified_seed(const Geometry& g, std::size_t stratum,
+                              std::size_t sample) {
+  std::uint64_t x = 0x5EA4C4CE11u;
+  for (const std::uint64_t v :
+       {std::uint64_t{g.n}, std::uint64_t{g.r}, std::uint64_t{g.m},
+        std::uint64_t{g.s}, std::uint64_t{stratum},
+        std::uint64_t{sample}}) {
+    x ^= v + 0x9E3779B97F4A7C15u + (x << 6) + (x >> 2);
+  }
+  return x;
+}
+
+// Partial Fisher-Yates: the first `count` entries of a shuffled
+// iota(size), sorted ascending.
+std::vector<std::size_t> draw_subset(Rng& rng, std::size_t size,
+                                     std::size_t count,
+                                     std::vector<std::size_t>& pool) {
+  pool.resize(size);
+  for (std::size_t i = 0; i < size; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.bounded(
+                static_cast<std::uint64_t>(size - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  std::vector<std::size_t> out(pool.begin(), pool.begin() + count);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Stratum {
+  std::size_t z = 0;
+  std::vector<std::size_t> loads;  ///< ordered composition
+};
+
+std::vector<Stratum> strata_of(const Geometry& g) {
+  std::vector<Stratum> out;
+  if (g.s == 0) {
+    out.push_back({0, {}});
+    return out;
+  }
+  const std::size_t survivors = g.n - g.m;
+  std::vector<std::size_t> parts;
+  for (std::size_t z = 1; z <= std::min(g.s, g.r); ++z) {
+    if (g.s > z * survivors) continue;
+    for_each_composition(g.s, z, survivors, parts,
+                         [&](const std::vector<std::size_t>& loads) {
+                           out.push_back({z, loads});
+                           return true;
+                         });
+  }
+  return out;
+}
+
+std::uint64_t enumerate_stratified(
+    const Geometry& g, std::uint64_t target,
+    const std::function<bool(const ScenarioClass&)>& visit) {
+  const std::vector<Stratum> strata = strata_of(g);
+  if (strata.empty()) return 0;
+  const std::uint64_t per_stratum =
+      std::max<std::uint64_t>(2, (target * 13 / 10) / strata.size() + 1);
+  Emitter em{g, visit};
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<std::size_t> pool;
+  for (std::uint64_t sample = 0;
+       sample < per_stratum && !em.stopped && em.visited < target;
+       ++sample) {
+    for (std::size_t si = 0;
+         si < strata.size() && !em.stopped && em.visited < target;
+         ++si) {
+      const Stratum& st = strata[si];
+      Rng rng(stratified_seed(g, si, sample));
+      std::vector<std::size_t> disks;
+      std::vector<std::size_t> rows;
+      if (sample == 0) {
+        // Extremal low: everything clustered at the origin.
+        for (std::size_t i = 0; i < g.m; ++i) disks.push_back(i);
+        for (std::size_t i = 0; i < st.z; ++i) rows.push_back(i);
+      } else if (sample == 1) {
+        // Extremal high: clustered at the far edge (canonicalization
+        // shifts it back; exercises the widest orbits).
+        for (std::size_t i = 0; i < g.m; ++i)
+          disks.push_back(g.n - g.m + i);
+        for (std::size_t i = 0; i < st.z; ++i)
+          rows.push_back(g.r - st.z + i);
+      } else {
+        disks = draw_subset(rng, g.n, g.m, pool);
+        rows = draw_subset(rng, g.r, st.z, pool);
+      }
+      std::vector<std::size_t> survivors;
+      for (std::size_t c = 0; c < g.n; ++c) {
+        if (!std::binary_search(disks.begin(), disks.end(), c)) {
+          survivors.push_back(c);
+        }
+      }
+      std::vector<std::size_t> cells;
+      for (std::size_t ri = 0; ri < st.z; ++ri) {
+        std::vector<std::size_t> cols;
+        if (sample == 0) {
+          for (std::size_t i = 0; i < st.loads[ri]; ++i)
+            cols.push_back(survivors[i]);
+        } else if (sample == 1) {
+          for (std::size_t i = 0; i < st.loads[ri]; ++i)
+            cols.push_back(survivors[survivors.size() - 1 - i]);
+        } else {
+          const auto picks =
+              draw_subset(rng, survivors.size(), st.loads[ri], pool);
+          for (const std::size_t p : picks) cols.push_back(survivors[p]);
+        }
+        for (const std::size_t c : cols)
+          cells.push_back(rows[ri] * g.n + c);
+      }
+      // Canonicalize: shift the whole pattern so its minimum involved
+      // column is 0, then deduplicate.
+      std::size_t min_col = disks.front();
+      for (const std::size_t cell : cells)
+        min_col = std::min(min_col, cell % g.n);
+      for (std::size_t& d : disks) d -= min_col;
+      for (std::size_t& cell : cells) cell -= min_col;
+      std::sort(cells.begin(), cells.end());
+      std::vector<std::size_t> key = disks;
+      key.push_back(g.n);  // separator (never a column id)
+      key.insert(key.end(), cells.begin(), cells.end());
+      if (!seen.insert(std::move(key)).second) continue;
+      em.emit(disks, cells, st.loads);
+    }
+  }
+  return em.visited;
+}
+
+}  // namespace
+
+void validate_geometry(const Geometry& g) {
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument(
+        "search_coeff: degenerate SD geometry n=" + std::to_string(g.n) +
+        " r=" + std::to_string(g.r) + " m=" + std::to_string(g.m) +
+        " s=" + std::to_string(g.s) + " w=" + std::to_string(g.w) +
+        ": " + why);
+  };
+  if (g.n == 0 || g.r == 0) fail("empty array");
+  if (g.m == 0) fail("m == 0 (no disk parity)");
+  if (g.m >= g.n) fail("m >= n leaves no surviving disks");
+  if (g.s > (g.n - g.m) * g.r - 1) {
+    fail("s exceeds the surviving cells (would loop forever sampling)");
+  }
+  const gf::Field& f = gf::field(g.w);  // throws for unsupported widths
+  if (g.n * g.r > f.max_element()) fail("field too small for n*r symbols");
+}
+
+std::vector<std::size_t> ScenarioClass::blocks(const Geometry& g) const {
+  std::vector<std::size_t> out;
+  out.reserve(disks.size() * g.r + sectors.size());
+  for (const std::size_t d : disks) {
+    for (std::size_t row = 0; row < g.r; ++row) out.push_back(row * g.n + d);
+  }
+  out.insert(out.end(), sectors.begin(), sectors.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Census census(const Geometry& g) {
+  Census c;
+  c.maximal = universe(g, g.n);
+  c.canonical = c.maximal - universe(g, g.n - 1);
+  return c;
+}
+
+EnumerationPlan plan_enumeration(const Geometry& g,
+                                 const EnumerateOptions& opts) {
+  EnumerationPlan plan;
+  plan.census = census(g);
+  plan.exact = plan.census.canonical <= opts.exact_class_limit;
+  plan.classes = plan.exact
+                     ? plan.census.canonical
+                     : std::min(plan.census.canonical,
+                                opts.stratified_classes);
+  return plan;
+}
+
+std::uint64_t enumerate_classes(
+    const Geometry& g, const EnumerateOptions& opts,
+    const std::function<bool(const ScenarioClass&)>& visit) {
+  validate_geometry(g);
+  const EnumerationPlan plan = plan_enumeration(g, opts);
+  if (plan.exact) return enumerate_exact(g, visit);
+  return enumerate_stratified(g, plan.classes, visit);
+}
+
+RankOracle::RankOracle(const Matrix& h) : h_(&h), f_(&h.field()) {
+  basis_.reserve(h.rows());
+  pivots_.reserve(h.rows());
+}
+
+bool RankOracle::add_column(std::size_t col) {
+  const std::size_t rows = h_->rows();
+  scratch_.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) scratch_[i] = (*h_)(i, col);
+  for (std::size_t k = 0; k < basis_.size(); ++k) {
+    const gf::Element c = scratch_[pivots_[k]];
+    if (c == 0) continue;
+    const std::vector<gf::Element>& b = basis_[k];
+    for (std::size_t i = 0; i < rows; ++i) {
+      scratch_[i] = gf::Field::add(scratch_[i], f_->mul(c, b[i]));
+    }
+  }
+  std::size_t pivot = rows;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (scratch_[i] != 0) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot == rows) return false;
+  const gf::Element scale = f_->inv(scratch_[pivot]);
+  for (std::size_t i = 0; i < rows; ++i) {
+    scratch_[i] = f_->mul(scratch_[i], scale);
+  }
+  basis_.push_back(scratch_);
+  pivots_.push_back(pivot);
+  return true;
+}
+
+void RankOracle::truncate(std::size_t size) {
+  basis_.resize(std::min(size, basis_.size()));
+  pivots_.resize(basis_.size());
+}
+
+}  // namespace ppm::coeffsearch

@@ -1,0 +1,138 @@
+// Exhaustive worst-case scenario enumeration for SD/PMDS coefficient
+// certification (search_coeff/).
+//
+// An SD^{m,s}_{n,r} code must decode every scenario of m whole-disk
+// failures plus s additional sector failures on the surviving disks.
+// Certifying a coefficient tuple therefore means proving full column
+// rank of H restricted to the faulty blocks for *every* such pattern.
+// Two structural reductions keep that tractable at paper scale:
+//
+//  * Maximality. A column subset of a full-column-rank matrix keeps
+//    full column rank, so only maximal patterns (exactly m disks and
+//    exactly s sectors) need proving; every smaller failure embeds in
+//    one of them.
+//
+//  * Column-translation symmetry. Every row of H has the geometric
+//    form H[row, l] = a_q^l (disk-parity rows restrict l to one
+//    stripe row). Shifting a whole pattern right by one column
+//    (disks and sector cells jointly, no wraparound) multiplies each
+//    H-row of the restricted submatrix by the nonzero scalar a_q, so
+//    rank — and, because the nonzero structure is unchanged, the
+//    partition/plan shape — is invariant. Patterns are enumerated in
+//    canonical form (minimum involved column == 0); `members` records
+//    the orbit size, and the sum of orbit sizes over canonical classes
+//    must reproduce the closed-form universe count exactly. That
+//    identity is re-checked by the certifier on every run.
+//
+// The class universe is stratified by z = number of distinct rows the
+// s sectors occupy and by the (descending) multiset of per-row sector
+// loads; certificates report per-stratum aggregates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gf/galois_field.h"
+#include "matrix/matrix.h"
+
+namespace ppm::coeffsearch {
+
+/// SD-family code geometry. `w` is the GF(2^w) symbol width.
+struct Geometry {
+  std::size_t n = 0;  ///< disks (columns)
+  std::size_t r = 0;  ///< rows per disk
+  std::size_t m = 0;  ///< whole-disk failures tolerated
+  std::size_t s = 0;  ///< additional sector failures tolerated
+  unsigned w = 8;
+
+  bool operator==(const Geometry&) const = default;
+};
+
+/// Throws std::invalid_argument for degenerate geometries (m == 0,
+/// m >= n, more sectors than surviving cells, field too small) instead
+/// of letting enumeration or sampling loop forever.
+void validate_geometry(const Geometry& g);
+
+/// One canonical worst-case failure class: `disks` failed whole disks
+/// (column ids) plus `sectors` failed blocks (block ids, row-major
+/// `row * n + col`) on surviving disks. Canonical form has minimum
+/// involved column 0; `members` is the orbit size under column
+/// translation (n minus the maximum involved column).
+struct ScenarioClass {
+  std::vector<std::size_t> disks;
+  std::vector<std::size_t> sectors;
+  std::size_t z = 0;                    ///< distinct sector rows
+  std::vector<std::size_t> row_loads;   ///< per-row sector counts, descending
+  std::uint64_t members = 1;
+
+  /// All faulty block ids (disk blocks expanded), sorted ascending.
+  std::vector<std::size_t> blocks(const Geometry& g) const;
+};
+
+/// Closed-form census of the maximal-scenario universe. With
+/// U(k) = C(k,m) * sum_z C(r,z) * sum_{compositions of s into z
+/// positive parts} prod_i C(k-m, load_i), the universe is U(n) and the
+/// canonical (translation-reduced) class count is U(n) - U(n-1):
+/// classes whose minimum involved column is >= 1 biject onto patterns
+/// over the last n-1 columns.
+struct Census {
+  std::uint64_t maximal = 0;
+  std::uint64_t canonical = 0;
+};
+Census census(const Geometry& g);
+
+struct EnumerateOptions {
+  /// Enumerate every canonical class when the census stays at or below
+  /// this; beyond it fall back to a deterministic stratified cover.
+  std::uint64_t exact_class_limit = 1'500'000;
+  /// Target size of the stratified cover (canonicalized + deduplicated).
+  std::uint64_t stratified_classes = 60'000;
+};
+
+struct EnumerationPlan {
+  Census census;
+  bool exact = true;
+  /// Upper bound on classes the walk will visit (exact: the canonical
+  /// census; stratified: the requested cover size).
+  std::uint64_t classes = 0;
+};
+EnumerationPlan plan_enumeration(const Geometry& g,
+                                 const EnumerateOptions& opts);
+
+/// Streams canonical classes in a deterministic order (grouped by disk
+/// set so rank oracles can reuse the disk basis). The visitor returns
+/// false to stop early. Returns the number of classes visited.
+std::uint64_t enumerate_classes(
+    const Geometry& g, const EnumerateOptions& opts,
+    const std::function<bool(const ScenarioClass&)>& visit);
+
+/// Incremental column-independence oracle over a fixed parity-check
+/// matrix. Columns are appended one at a time into a growing reduced
+/// basis (non-destructive Gaussian elimination); `truncate` rolls the
+/// basis back so one disk-set prefix can be shared across every sector
+/// placement. Turns the per-scenario O((mr+s)^3) dense rank into
+/// ~O(s * (mr+s)^2) incremental work.
+class RankOracle {
+ public:
+  explicit RankOracle(const Matrix& h);
+
+  /// Appends column `col` of H. Returns true iff it is independent of
+  /// the columns inserted so far (and was added to the basis).
+  bool add_column(std::size_t col);
+
+  std::size_t basis_size() const { return basis_.size(); }
+
+  /// Rolls back to an earlier basis size (from `basis_size()`).
+  void truncate(std::size_t size);
+
+ private:
+  const Matrix* h_;
+  const gf::Field* f_;
+  std::vector<std::vector<gf::Element>> basis_;  ///< pivot-normalized rows
+  std::vector<std::size_t> pivots_;
+  std::vector<gf::Element> scratch_;
+};
+
+}  // namespace ppm::coeffsearch

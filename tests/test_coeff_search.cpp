@@ -1,8 +1,19 @@
-// Coefficient search and validation.
+// Coefficient search and validation at the construction-path surface
+// (codes/coeff_search.h). validate_sd_coefficients is now an exhaustive
+// rank certification — the sampled acceptance it replaced shipped
+// provably-invalid tuples for most geometries — and sd_coefficients
+// serves only tuples carrying a full certificate: a perfect one when
+// the geometry admits it, the historical consecutive-powers tuple with
+// its deficiencies characterized on the record otherwise.
 #include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "codes/coeff_search.h"
 #include "codes/sd_code.h"
+#include "search_coeff/certify.h"
 
 namespace ppm {
 namespace {
@@ -14,12 +25,39 @@ TEST(CoeffSearch, PaperFig2CoefficientsValidate) {
 }
 
 TEST(CoeffSearch, RejectsDegenerateTuple) {
-  // Duplicated coefficients collapse check rows: a_1 == a_0 makes the
-  // global equation a copy of a (scaled) sum of the row equations only in
-  // degenerate cases, but always fails for the encoding system when two
-  // sector-parity coefficients coincide.
+  // Duplicated coefficients collapse check rows; the exhaustive oracle
+  // refutes the tuple with a concrete rank-deficient scenario.
   const std::vector<gf::Element> coeffs{1, 1};
   EXPECT_FALSE(validate_sd_coefficients(4, 4, 1, 1, 8, coeffs));
+}
+
+TEST(CoeffSearch, ValidateThrowsOnDegenerateGeometry) {
+  const std::vector<gf::Element> coeffs{1, 2};
+  EXPECT_THROW(validate_sd_coefficients(4, 4, 0, 1, 8, coeffs),
+               std::invalid_argument);
+  EXPECT_THROW(sd_coefficients(4, 4, 4, 1, 8), std::invalid_argument);
+}
+
+TEST(CoeffSearch, GoldenPinPaperTupleGeometry) {
+  // SD^{2,2}_{6,4}(8|1,42,26,61) is the paper's published tuple. The
+  // search must return a tuple that certifies *perfect* for this
+  // geometry, with a certified worst-case critical path no worse than
+  // the paper tuple's.
+  const coeffsearch::Geometry g{6, 4, 2, 2, 8};
+  const std::vector<gf::Element> paper{1, 42, 26, 61};
+  const auto paper_cert = coeffsearch::certify_tuple(g, paper);
+  ASSERT_TRUE(paper_cert.certified) << paper_cert.reason;
+  ASSERT_EQ(paper_cert.cert.deficient_classes, 0u);
+
+  const auto chosen = sd_coefficients(6, 4, 2, 2, 8);
+  ASSERT_EQ(chosen.size(), 4u);
+  EXPECT_EQ(chosen[0], 1u);
+  EXPECT_TRUE(validate_sd_coefficients(6, 4, 2, 2, 8, chosen));
+  const auto chosen_cert = coeffsearch::certify_tuple(g, chosen);
+  ASSERT_TRUE(chosen_cert.certified) << chosen_cert.reason;
+  EXPECT_EQ(chosen_cert.cert.deficient_classes, 0u);
+  EXPECT_LE(chosen_cert.cert.worst_case.critical_path,
+            paper_cert.cert.worst_case.critical_path);
 }
 
 TEST(CoeffSearch, SearchedTupleAlwaysValidates) {
@@ -33,20 +71,66 @@ TEST(CoeffSearch, SearchedTupleAlwaysValidates) {
   }
 }
 
+TEST(CoeffSearch, DeficientGeometryServesCharacterizedLegacyTuple) {
+  // SD^{2,2}_{8,8} over GF(2^8) admits no perfect tuple (the published
+  // SD tables have matching gaps). The construction path serves the
+  // historical consecutive-powers tuple — and the exhaustive validator
+  // honestly refuses to call it valid.
+  const auto coeffs = sd_coefficients(8, 8, 2, 2, 8);
+  EXPECT_EQ(coeffs, (std::vector<gf::Element>{1, 2, 4, 8}));
+  EXPECT_FALSE(validate_sd_coefficients(8, 8, 2, 2, 8, coeffs));
+  // Its full characterization pins a nonzero deficiency count.
+  coeffsearch::CertifyOptions allow;
+  allow.allow_deficient = true;
+  const auto res =
+      coeffsearch::certify_tuple({8, 8, 2, 2, 8}, coeffs, allow);
+  ASSERT_TRUE(res.certified) << res.reason;
+  EXPECT_GT(res.cert.deficient_classes, 0u);
+}
+
+TEST(CoeffSearch, DefaultCodeConstructionCarriesCertificate) {
+  // Constructing a code for a deficient geometry still succeeds — the
+  // characterized fallback keeps decode within actual tolerance working
+  // — and uses exactly the recorded legacy tuple.
+  const SDCode code(9, 8, 3, 3, 8);
+  const gf::Field& f = gf::field(8);
+  std::vector<gf::Element> legacy(6);
+  for (std::size_t q = 0; q < legacy.size(); ++q) legacy[q] = f.exp2(q);
+  EXPECT_EQ(code.coefficients(), legacy);
+}
+
 TEST(CoeffSearch, CacheReturnsSameTuple) {
   const auto a = sd_coefficients(8, 8, 2, 2, 8);
   const auto b = sd_coefficients(8, 8, 2, 2, 8);
   EXPECT_EQ(a, b);
 }
 
+TEST(CoeffSearch, ConcurrentConstructionSearchesOnce) {
+  // Eight threads race the same geometry: the search mutex must
+  // collapse them onto one certification, and every thread must see
+  // the identical tuple.
+  clear_sd_coefficient_cache();
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<gf::Element>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&results, t] {
+        results[t] = sd_coefficients(6, 4, 2, 2, 8);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(sd_coefficient_cache_entries(), 1u);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+}
+
 TEST(CoeffSearch, WorksAtWiderWidths) {
   const auto coeffs = sd_coefficients(24, 16, 2, 2, 16);
   EXPECT_TRUE(validate_sd_coefficients(24, 16, 2, 2, 16, coeffs));
-}
-
-TEST(CoeffSearch, DefaultCodeConstructionUsesValidatedCoefficients) {
-  const SDCode code(9, 8, 3, 3, 8);
-  EXPECT_TRUE(validate_sd_coefficients(9, 8, 3, 3, 8, code.coefficients()));
 }
 
 }  // namespace

@@ -18,6 +18,13 @@
 //                    [--sweep <disks>] [--seed S] [--rounds R]   campaign
 //                    [--permanent P] [--transient P] [--corrupt P]   against
 //                    [--straggle P] [--retries N]   the resilient pipeline
+//   ppm_cli search {certify|best|ls|check|gc}      coefficient certification:
+//                    [--n N --r R --m M --s S --w W]   exhaustively prove a
+//                    [--coeffs a,b,...] [--dir <d>]    tuple (certify), search
+//                    [--candidates N] [--certify-budget N] [--seed S]  for the
+//                    [--plan-budget N] [--exact-limit N] [--classes N] Pareto-
+//                    [--allow-deficient 1] [--metrics 1]   best one (best), or
+//                    re-prove/list/gc the persistent certificate store
 //
 // Families and their parameters (defaults in parentheses):
 //   sd, pmds : --n (8) --r (16) --m (2) --s (2) [--w auto] [--z 1]
@@ -997,6 +1004,200 @@ int cmd_store(const ErasureCode& code, const Args& args) {
   return 2;
 }
 
+// --- ppm_cli search — coefficient certification & search (search_coeff/).
+// Dispatched before make_code: certifying does not require (and must not
+// pay for) a full code construction.
+
+coeffsearch::Geometry search_geometry(const Args& args) {
+  const std::size_t n = args.get("n", 8);
+  const std::size_t r = args.get("r", 16);
+  return coeffsearch::Geometry{
+      n, r, args.get("m", 2), args.get("s", 2),
+      static_cast<unsigned>(args.get("w", SDCode::recommended_width(n, r)))};
+}
+
+coeffsearch::CertifyOptions search_certify_options(const Args& args) {
+  coeffsearch::CertifyOptions opts;
+  opts.exact_class_limit = args.get("exact-limit", opts.exact_class_limit);
+  opts.stratified_classes = args.get("classes", opts.stratified_classes);
+  opts.plan_budget = args.get("plan-budget", opts.plan_budget);
+  opts.optimize_xor = args.get("optimize", 1) != 0;
+  opts.allow_deficient = args.get("allow-deficient", 0) != 0;
+  opts.threads = static_cast<unsigned>(args.get("threads", 0));
+  return opts;
+}
+
+std::vector<gf::Element> parse_coeffs(const std::string& csv) {
+  std::vector<gf::Element> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t end = csv.find(',', pos);
+    if (end == std::string::npos) end = csv.size();
+    out.push_back(static_cast<gf::Element>(
+        std::strtoull(csv.substr(pos, end - pos).c_str(), nullptr, 10)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+void print_search_metrics(const Args& args) {
+  if (args.get("metrics", 0) != 0) {
+    std::printf("%s\n", search_metrics().to_json().c_str());
+  }
+}
+
+int cmd_search(const Args& args) {
+  const std::string action = args.subcommand;
+  const std::string dir = args.get("dir", std::string{});
+
+  if (action == "certify") {
+    const coeffsearch::Geometry g = search_geometry(args);
+    const std::string csv = args.get("coeffs", std::string{});
+    if (csv.empty()) {
+      std::fprintf(stderr, "search certify: --coeffs a,b,... is required\n");
+      return 2;
+    }
+    const std::vector<gf::Element> coeffs = parse_coeffs(csv);
+    const coeffsearch::CertifyResult res =
+        coeffsearch::certify_tuple(g, coeffs, search_certify_options(args));
+    if (!res.certified) {
+      std::fprintf(stderr, "REFUTED: %s\n", res.reason.c_str());
+      std::string reason = res.reason;  // keep the stdout JSON escape-free
+      for (char& c : reason)
+        if (c == '"' || c == '\\' || c == '\n') c = '\'';
+      std::printf("{\"certified\":false,\"reason\":\"%s\"}\n", reason.c_str());
+      print_search_metrics(args);
+      return 1;
+    }
+    std::printf("%s\n", res.cert.to_json().c_str());
+    std::fprintf(stderr,
+                 "CERTIFIED: %llu/%llu canonical classes rank-proven "
+                 "(%s), %llu plan-proven, %llu deficient\n",
+                 static_cast<unsigned long long>(res.cert.rank_checked),
+                 static_cast<unsigned long long>(res.cert.canonical),
+                 res.cert.exact ? "exact" : "stratified",
+                 static_cast<unsigned long long>(res.cert.plans_proven),
+                 static_cast<unsigned long long>(res.cert.deficient_classes));
+    if (!dir.empty()) {
+      coeffsearch::CertStore store(dir);
+      if (!store.put(res.cert)) {
+        std::fprintf(stderr, "FAIL: could not persist certificate\n");
+        return 1;
+      }
+      std::fprintf(stderr, "persisted to %s/%s\n", dir.c_str(),
+                   coeffsearch::CertStore::record_filename(g).c_str());
+    }
+    print_search_metrics(args);
+    return 0;
+  }
+
+  if (action == "best") {
+    const coeffsearch::Geometry g = search_geometry(args);
+    coeffsearch::SearchOptions opts;
+    opts.candidate_budget = args.get("candidates", 512);
+    opts.certify_budget = args.get("certify-budget", 4);
+    opts.seed = args.get("seed", 0);
+    opts.threads = static_cast<unsigned>(args.get("threads", 0));
+    opts.certify = search_certify_options(args);
+    const coeffsearch::SearchResult res = coeffsearch::search_best(g, opts);
+    std::string out = "{\"found\":";
+    out += res.found ? "true" : "false";
+    out += ",\"candidates\":" + std::to_string(res.candidates_considered);
+    out += ",\"rank_pruned\":" + std::to_string(res.rank_pruned);
+    out += ",\"certified\":" + std::to_string(res.certified);
+    out += ",\"refuted\":" + std::to_string(res.refuted);
+    if (res.found) {
+      out += ",\"tuple\":[";
+      for (std::size_t i = 0; i < res.best.tuple.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(res.best.tuple[i]);
+      }
+      out += "],\"worst_case\":{\"critical_path\":" +
+             std::to_string(res.best.cert.worst_case.critical_path) +
+             ",\"work\":" + std::to_string(res.best.cert.worst_case.work) +
+             ",\"optimized_ops\":" +
+             std::to_string(res.best.cert.worst_case.optimized_ops) +
+             "},\"pareto\":" + std::to_string(res.pareto.size());
+    }
+    out += '}';
+    std::printf("%s\n", out.c_str());
+    if (!res.found) {
+      std::fprintf(stderr, "NO TUPLE FOUND: %s\n", res.reason.c_str());
+      print_search_metrics(args);
+      return 1;
+    }
+    std::fprintf(stderr, "best tuple of %llu certified (pareto %zu)\n",
+                 static_cast<unsigned long long>(res.certified),
+                 res.pareto.size());
+    if (!dir.empty()) {
+      coeffsearch::CertStore store(dir);
+      if (!store.put(res.best.cert)) {
+        std::fprintf(stderr, "FAIL: could not persist certificate\n");
+        return 1;
+      }
+      std::fprintf(stderr, "persisted to %s/%s\n", dir.c_str(),
+                   coeffsearch::CertStore::record_filename(g).c_str());
+    }
+    print_search_metrics(args);
+    return 0;
+  }
+
+  if (dir.empty()) {
+    std::fprintf(stderr, "search %s: --dir is required\n", action.c_str());
+    return 2;
+  }
+
+  if (action == "ls") {
+    const coeffsearch::CertStore store(dir);
+    std::size_t records = 0;
+    std::size_t quarantined = 0;
+    for (const auto& entry : store.list()) {
+      std::printf("%10ju  %s%s\n", entry.bytes, entry.filename.c_str(),
+                  entry.quarantined ? "  [QUARANTINED]" : "");
+      ++(entry.quarantined ? quarantined : records);
+    }
+    std::fprintf(stderr, "%zu record(s), %zu quarantined\n", records,
+                 quarantined);
+    return 0;
+  }
+
+  if (action == "check") {
+    coeffsearch::CertStore store(dir);
+    const auto report = store.check();
+    std::printf("{\"checked\":%zu,\"verified\":%zu,\"quarantined\":%zu}\n",
+                report.checked, report.verified, report.quarantined);
+    print_search_metrics(args);
+    if (report.checked == 0) {
+      std::fprintf(stderr, "FAIL: store has no certificates\n");
+      return 1;
+    }
+    if (report.quarantined > 0 || report.verified != report.checked) {
+      std::fprintf(stderr, "FAIL: %zu of %zu certificate(s) quarantined\n",
+                   report.quarantined, report.checked);
+      return 1;
+    }
+    std::fprintf(stderr, "PASS: %zu certificate(s) re-proven\n",
+                 report.verified);
+    return 0;
+  }
+
+  if (action == "gc") {
+    coeffsearch::CertStore store(dir);
+    const auto report = store.gc();
+    std::printf("{\"removed_quarantined\":%zu,\"removed_tmp\":%zu}\n",
+                report.removed_quarantined, report.removed_tmp);
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "usage: ppm_cli search {certify|best|ls|check|gc} "
+               "[--n N --r R --m M --s S --w W] [--coeffs a,b,...] "
+               "[--dir <d>] [--candidates N] [--plan-budget N] "
+               "[--exact-limit N] [--classes N] [--allow-deficient 1] "
+               "[--metrics 1]\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1004,17 +1205,24 @@ int main(int argc, char** argv) {
   if (args.command.empty()) {
     std::fprintf(stderr,
                  "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
-                 "analyze|store|chaos} "
+                 "analyze|store|chaos|search} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
                  "[params]\n"
                  "       %s store {build|ls|check|gc} --dir <dir> [params]\n"
                  "       %s chaos --code <family> [--sweep N] [--seed S] "
                  "[--rounds R] [--permanent P] [--transient P] [--corrupt P] "
-                 "[--straggle P] [--retries N]\n",
-                 argv[0], argv[0], argv[0]);
+                 "[--straggle P] [--retries N]\n"
+                 "       %s search {certify|best|ls|check|gc} "
+                 "[--n N --r R --m M --s S --w W] [--coeffs a,b,...] "
+                 "[--dir <d>]\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
+    // `search` works on a geometry, not a constructed code — dispatch
+    // before make_code so certification costs are only paid once,
+    // inside the search pipeline itself.
+    if (args.command == "search") return cmd_search(args);
     const auto code = make_code(args);
     if (args.command == "info") return cmd_info(*code);
     if (args.command == "costs") return cmd_costs(*code, args);
