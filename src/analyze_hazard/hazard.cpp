@@ -320,6 +320,53 @@ Analysis analyze_plan(const CachedPlan& plan) {
   return analyze(graph_of_plan(plan));
 }
 
+PlanReadiness plan_readiness(const CachedPlan& plan) {
+  const HazardGraph graph = graph_of_plan(plan);
+  // Blocks any unit writes are recovered by compute; they are never
+  // fetch inputs, even when a later unit (rest) reads them.
+  std::vector<std::size_t> written;
+  for (const Unit& unit : graph.units) {
+    for (const Access& w : unit.writes) written.push_back(w.block);
+  }
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+
+  const auto inputs_of = [&written](const Unit& unit) {
+    std::vector<std::size_t> inputs;
+    inputs.reserve(unit.reads.size());
+    for (const Access& r : unit.reads) {
+      if (!std::binary_search(written.begin(), written.end(), r.block)) {
+        inputs.push_back(r.block);
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    return inputs;
+  };
+
+  PlanReadiness out;
+  // graph_of_plan unit order: the p group units first, rest (if any) last.
+  out.has_rest = plan.rest().has_value();
+  const std::size_t group_count =
+      graph.units.size() - (out.has_rest ? 1 : 0);
+  out.group_inputs.reserve(group_count);
+  for (std::size_t i = 0; i < group_count; ++i) {
+    out.group_inputs.push_back(inputs_of(graph.units[i]));
+  }
+  if (out.has_rest) out.rest_inputs = inputs_of(graph.units.back());
+
+  for (const auto& g : out.group_inputs) {
+    out.all_inputs.insert(out.all_inputs.end(), g.begin(), g.end());
+  }
+  out.all_inputs.insert(out.all_inputs.end(), out.rest_inputs.begin(),
+                        out.rest_inputs.end());
+  std::sort(out.all_inputs.begin(), out.all_inputs.end());
+  out.all_inputs.erase(
+      std::unique(out.all_inputs.begin(), out.all_inputs.end()),
+      out.all_inputs.end());
+  return out;
+}
+
 Analysis analyze_slices(const SubPlan& plan,
                         std::span<const SliceRange> slices,
                         std::size_t block_bytes, unsigned symbol_bytes) {

@@ -168,6 +168,25 @@ HazardGraph graph_of_schedule(const XorSchedule& schedule, std::size_t rows,
 /// Analyze a full cached plan (graph_of_plan + analyze).
 Analysis analyze_plan(const CachedPlan& plan);
 
+/// Per-unit survivor-input sets of a plan's two-phase execution — the
+/// readiness metadata the serving layer (serve/) overlaps fetch and
+/// compute with. Derived from the same DAG lowering the hazard checks
+/// quantify over: a unit's inputs are the blocks it reads that no unit
+/// writes (i.e. true source blocks — blocks another unit recovers are
+/// satisfied by compute ordering, not by fetch). Group i may start as
+/// soon as group_inputs[i] have all arrived; the rest unit additionally
+/// waits for every group (its DAG edges), so rest_inputs lists only the
+/// source blocks it reads itself. All lists are sorted and duplicate-free.
+struct PlanReadiness {
+  std::vector<std::vector<std::size_t>> group_inputs;  ///< per O1 group
+  std::vector<std::size_t> rest_inputs;  ///< empty when the plan has no rest
+  bool has_rest = false;
+  std::vector<std::size_t> all_inputs;   ///< union — every block to fetch
+};
+
+/// Extract the readiness sets of a cached plan (graph_of_plan lowering).
+PlanReadiness plan_readiness(const CachedPlan& plan);
+
 /// Analyze a slice fan-out: graph_of_slices + analyze, plus the geometric
 /// slice checks — every boundary a multiple of `symbol_bytes` and the
 /// slices an exact, gapless, in-order tiling of [0, block_bytes) rounded

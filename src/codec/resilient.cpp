@@ -29,6 +29,13 @@ std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
   return std::chrono::nanoseconds{static_cast<std::int64_t>(ns)};
 }
 
+std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
+                                       std::size_t retry_index,
+                                       std::chrono::nanoseconds remaining) {
+  if (remaining.count() <= 0) return std::chrono::nanoseconds{0};
+  return std::min(backoff_delay(options, retry_index), remaining);
+}
+
 RecoveryOutcome ResilientResult::outcome_of(std::size_t block) const {
   const auto in = [block](const std::vector<std::size_t>& v) {
     return std::binary_search(v.begin(), v.end(), block);
@@ -120,10 +127,9 @@ class Fetcher {
   void sleep_backoff(std::size_t retry_index) const {
     auto delay = backoff_delay(*options_, retry_index);
     if (options_->deadline.count() > 0) {
-      const std::int64_t remaining =
-          options_->deadline.count() - clock_->nanos();
-      if (remaining <= 0) return;
-      delay = std::min(delay, std::chrono::nanoseconds{remaining});
+      delay = backoff_delay(*options_, retry_index,
+                            std::chrono::nanoseconds{
+                                options_->deadline.count() - clock_->nanos()});
     }
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }

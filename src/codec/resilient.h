@@ -64,6 +64,14 @@ struct ResilienceOptions {
 std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
                                        std::size_t retry_index);
 
+/// Deadline-aware overload: the same exponential backoff, additionally
+/// clamped to the `remaining` wall-clock budget (zero when the budget is
+/// spent). This is the sleep the resilient pipeline actually issues — a
+/// near-expired deadline can never oversleep. Pure, like the base form.
+std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
+                                       std::size_t retry_index,
+                                       std::chrono::nanoseconds remaining);
+
 /// Final, mutually exclusive per-block outcome of a resilient decode.
 enum class RecoveryOutcome {
   kIntact,              ///< survivor; read fine (or never needed)

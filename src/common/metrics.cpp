@@ -73,6 +73,7 @@ void LatencyHistogram::append_json(std::string& out) const {
   append_kv(out, "p50_s", quantile_seconds(0.50));
   append_kv(out, "p95_s", quantile_seconds(0.95));
   append_kv(out, "p99_s", quantile_seconds(0.99));
+  append_kv(out, "p999_s", quantile_seconds(0.999));
   append_kv(out, "max_s", max_seconds());
   out += "\"buckets\":[";
   bool first = true;
@@ -219,6 +220,63 @@ std::string SearchMetrics::to_json() const {
 
 SearchMetrics& search_metrics() {
   static SearchMetrics metrics;
+  return metrics;
+}
+
+void ServeMetrics::reset() {
+  requests.reset();
+  accepted.reset();
+  rejected.reset();
+  batches.reset();
+  batched_requests.reset();
+  overlapped_decodes.reset();
+  group_solves_early.reset();
+  fallbacks.reset();
+  hedges_launched.reset();
+  hedges_won.reset();
+  hedges_wasted.reset();
+  reads_submitted.reset();
+  reads_failed.reset();
+  queue_seconds.reset();
+  fetch_seconds.reset();
+  solve_seconds.reset();
+  request_seconds.reset();
+  read_seconds.reset();
+}
+
+std::string ServeMetrics::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"serve\":{";
+  append_kv(out, "requests", requests.value());
+  append_kv(out, "accepted", accepted.value());
+  append_kv(out, "rejected", rejected.value());
+  append_kv(out, "batches", batches.value());
+  append_kv(out, "batched_requests", batched_requests.value());
+  append_kv(out, "overlapped_decodes", overlapped_decodes.value());
+  append_kv(out, "group_solves_early", group_solves_early.value());
+  append_kv(out, "fallbacks", fallbacks.value());
+  append_kv(out, "hedges_launched", hedges_launched.value());
+  append_kv(out, "hedges_won", hedges_won.value());
+  append_kv(out, "hedges_wasted", hedges_wasted.value());
+  append_kv(out, "reads_submitted", reads_submitted.value());
+  append_kv(out, "reads_failed", reads_failed.value());
+  out += "\"latency\":{\"queue\":";
+  queue_seconds.append_json(out);
+  out += ",\"fetch\":";
+  fetch_seconds.append_json(out);
+  out += ",\"solve\":";
+  solve_seconds.append_json(out);
+  out += ",\"request\":";
+  request_seconds.append_json(out);
+  out += ",\"read\":";
+  read_seconds.append_json(out);
+  out += "}}}";
+  return out;
+}
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics;
   return metrics;
 }
 

@@ -229,4 +229,48 @@ struct SearchMetrics {
 /// The process-global search metric set.
 SearchMetrics& search_metrics();
 
+/// Decode-serving front-end metrics (serve/). Process-global: one
+/// DecodeServer typically serves the process, and the async fetch layer
+/// (hedged reads) records here even when driven without a server. Every
+/// member is individually thread-safe.
+struct ServeMetrics {
+  // Admission control (bounded request queue).
+  Counter requests;          ///< submit() calls received
+  Counter accepted;          ///< requests admitted to the queue
+  Counter rejected;          ///< requests refused with backpressure
+  Counter batches;           ///< plan-shared batches dispatched
+  Counter batched_requests;  ///< requests folded into those batches
+
+  // Overlapped decode outcomes.
+  Counter overlapped_decodes;  ///< fast-path fetch/solve-overlap completions
+  Counter group_solves_early;  ///< group solves started before last read
+  Counter fallbacks;           ///< overlap abandoned → decode_resilient
+
+  // Hedged reads. launched counts duplicate reads issued for stragglers;
+  // won counts hedges whose completion arrived first; wasted counts
+  // hedge completions discarded because another attempt already won.
+  Counter hedges_launched;
+  Counter hedges_won;
+  Counter hedges_wasted;
+
+  // Async fetch volume.
+  Counter reads_submitted;  ///< read attempts issued (primaries + hedges)
+  Counter reads_failed;     ///< attempts completing with kFailed
+
+  // Per-stage tail latency.
+  LatencyHistogram queue_seconds;    ///< admission → dispatch wait
+  LatencyHistogram fetch_seconds;    ///< submit → last needed input landed
+  LatencyHistogram solve_seconds;    ///< first solve start → last solve end
+  LatencyHistogram request_seconds;  ///< submit → response completed
+  LatencyHistogram read_seconds;     ///< per-attempt async read wall time
+
+  void reset();
+
+  /// `{"serve":{...}}` — the export format of `ppm_cli serve --metrics`.
+  std::string to_json() const;
+};
+
+/// The process-global serving metric set.
+ServeMetrics& serve_metrics();
+
 }  // namespace ppm

@@ -17,8 +17,13 @@
 //
 // Reads are pull-only and idempotent from the caller's perspective; a
 // source may internally count attempts (fault schedules are per-attempt).
-// Sources are NOT required to be thread-safe: the resilient pipeline
-// issues reads serially from the decoding thread.
+// Thread-safety is per-implementation: the resilient pipeline issues
+// reads serially from the decoding thread and needs none, but the async
+// serving layer (serve/async_source.h) multiplexes concurrent read()
+// calls from reactor threads, so sources handed to it must tolerate
+// concurrent read() with distinct `dst` buffers. MemoryBlockSource
+// (const backing, pure copy) and FaultInjectingSource (internally
+// locked) both do.
 #pragma once
 
 #include <cstddef>

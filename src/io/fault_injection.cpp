@@ -11,6 +11,7 @@ const FaultSpec kHealthy{};
 
 void FaultInjectingSource::set_fault(std::size_t block,
                                      const FaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (block >= specs_.size()) return;
   specs_[block] = spec;
   attempts_[block] = 0;
@@ -45,6 +46,7 @@ void FaultInjectingSource::roll_campaign(
           std::min(corrupt_len, block_bytes() - corrupt_offset);
     } else if (roll < threshold + options.delay) {
       spec.delay = options.delay_ns;
+      if (options.delay_attempts > 0) spec.delay_reads = options.delay_attempts;
     }
     set_fault(b, spec);
   }
@@ -52,16 +54,24 @@ void FaultInjectingSource::roll_campaign(
 
 ReadStatus FaultInjectingSource::read(std::size_t block, std::uint8_t* dst,
                                       std::size_t bytes) {
-  ++reads_attempted_;
+  reads_attempted_.fetch_add(1, std::memory_order_relaxed);
   if (block >= specs_.size()) return inner_->read(block, dst, bytes);
-  const FaultSpec& spec = specs_[block];
-  const std::size_t attempt = attempts_[block]++;
-  if (spec.delay.count() > 0) {
-    ++delays_injected_;
+  // Snapshot the schedule and claim this attempt number under the lock;
+  // the straggler sleep and the inner read run outside it so concurrent
+  // delayed reads actually overlap instead of serializing on the mutex.
+  FaultSpec spec;
+  std::size_t attempt;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spec = specs_[block];
+    attempt = attempts_[block]++;
+  }
+  if (spec.delay.count() > 0 && attempt < spec.delay_reads) {
+    delays_injected_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(spec.delay);
   }
   if (spec.fail_always || attempt < spec.fail_reads) {
-    ++failures_injected_;
+    failures_injected_.fetch_add(1, std::memory_order_relaxed);
     return ReadStatus::kFailed;
   }
   const ReadStatus status = inner_->read(block, dst, bytes);
@@ -74,7 +84,7 @@ ReadStatus FaultInjectingSource::read(std::size_t block, std::uint8_t* dst,
                                 ? bytes - begin
                                 : std::min(spec.corrupt_bytes, bytes - begin);
     for (std::size_t i = 0; i < len; ++i) dst[begin + i] ^= mask;
-    if (len > 0) ++corruptions_injected_;
+    if (len > 0) corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
   }
   return ReadStatus::kOk;
 }

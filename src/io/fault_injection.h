@@ -14,13 +14,22 @@
 // fail-then-recover schedules meaningful to the resilient pipeline's
 // bounded-retry loop.
 //
-// Not thread-safe: the resilient pipeline reads serially; wrap with a
-// lock if a concurrent harness ever needs one source.
+// Thread-safety: configuration (set_fault / roll_campaign) must be
+// quiesced before reads begin; after that, read() is safe for concurrent
+// callers — per-block attempt counts are mutex-guarded (straggler sleeps
+// happen outside the lock, so delayed reads overlap), injection counters
+// are relaxed atomics — provided the wrapped inner source supports
+// concurrent read(), as MemoryBlockSource does. fault() returns a
+// reference into the schedule and is for quiescent inspection only.
+// Serial callers observe exactly the pre-lock attempt/injection
+// semantics, so seeded chaos campaigns stay bit-reproducible.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -41,6 +50,13 @@ struct FaultSpec {
   /// Added latency per read attempt (straggler). Applied before the
   /// read outcome is decided, so a delayed read can still fail.
   std::chrono::nanoseconds delay{0};
+
+  /// Number of initial attempts `delay` applies to. The default
+  /// (kEveryAttempt) delays every attempt — a persistently slow disk.
+  /// 1 models the transient straggler hedged reads exist for: the first
+  /// request is stuck, a duplicate read completes fast.
+  static constexpr std::size_t kEveryAttempt = static_cast<std::size_t>(-1);
+  std::size_t delay_reads = kEveryAttempt;
 
   /// XOR `corrupt_mask` over `[corrupt_offset, corrupt_offset +
   /// corrupt_bytes)` of every successful read (torn sector). A zero mask
@@ -85,6 +101,9 @@ class FaultInjectingSource : public BlockSource {
     double corrupt = 0.0;          ///< random 1..16-byte torn range
     double delay = 0.0;            ///< straggler of `delay_ns`
     std::chrono::nanoseconds delay_ns{0};
+    /// Attempts each rolled straggler delays: 0 keeps the legacy
+    /// every-attempt behavior, 1 rolls transient stragglers (hedgeable).
+    std::size_t delay_attempts = 0;
   };
 
   /// Roll a FaultSpec for every block of `inner` from `rng`, skipping the
@@ -97,20 +116,30 @@ class FaultInjectingSource : public BlockSource {
   ReadStatus read(std::size_t block, std::uint8_t* dst,
                   std::size_t bytes) override;
 
-  // Injection counters (cumulative over the source's lifetime).
-  std::size_t reads_attempted() const { return reads_attempted_; }
-  std::size_t failures_injected() const { return failures_injected_; }
-  std::size_t corruptions_injected() const { return corruptions_injected_; }
-  std::size_t delays_injected() const { return delays_injected_; }
+  // Injection counters (cumulative over the source's lifetime; relaxed
+  // atomics, so concurrent readers observe consistent per-counter values).
+  std::size_t reads_attempted() const {
+    return reads_attempted_.load(std::memory_order_relaxed);
+  }
+  std::size_t failures_injected() const {
+    return failures_injected_.load(std::memory_order_relaxed);
+  }
+  std::size_t corruptions_injected() const {
+    return corruptions_injected_.load(std::memory_order_relaxed);
+  }
+  std::size_t delays_injected() const {
+    return delays_injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   BlockSource* inner_;
+  mutable std::mutex mutex_;           ///< guards specs_ and attempts_
   std::vector<FaultSpec> specs_;
   std::vector<std::size_t> attempts_;  ///< per-block read-attempt count
-  std::size_t reads_attempted_ = 0;
-  std::size_t failures_injected_ = 0;
-  std::size_t corruptions_injected_ = 0;
-  std::size_t delays_injected_ = 0;
+  std::atomic<std::size_t> reads_attempted_{0};
+  std::atomic<std::size_t> failures_injected_{0};
+  std::atomic<std::size_t> corruptions_injected_{0};
+  std::atomic<std::size_t> delays_injected_{0};
 };
 
 }  // namespace ppm::io

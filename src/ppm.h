@@ -64,6 +64,10 @@
 #include "search_coeff/certify.h"
 #include "search_coeff/scenario_enum.h"
 #include "search_coeff/search.h"
+#include "serve/async_source.h"
+#include "serve/overlap.h"
+#include "serve/server.h"
+#include "serve/uring_source.h"
 #include "sim/array_sim.h"
 #include "verify_plan/plan_verify.h"
 #include "verify_plan/violation.h"

@@ -1,0 +1,88 @@
+#include "serve/async_source.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+
+namespace ppm::serve {
+
+ThreadedAsyncSource::ThreadedAsyncSource(io::BlockSource& inner,
+                                         unsigned reactor_threads)
+    : inner_(&inner) {
+  if (reactor_threads == 0) reactor_threads = 1;
+  reactors_.reserve(reactor_threads);
+  for (unsigned i = 0; i < reactor_threads; ++i) {
+    reactors_.emplace_back([this] { reactor_loop(); });
+  }
+}
+
+ThreadedAsyncSource::~ThreadedAsyncSource() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // jthread members join on destruction; pending ops past stop_ are
+  // abandoned (the owner is gone, nobody could poll their completions).
+}
+
+std::uint64_t ThreadedAsyncSource::submit(std::size_t block,
+                                          std::uint8_t* dst,
+                                          std::size_t bytes) {
+  std::uint64_t token;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    token = next_token_++;
+    pending_.push_back(Op{token, block, dst, bytes});
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+  serve_metrics().reads_submitted.add();
+  return token;
+}
+
+std::size_t ThreadedAsyncSource::poll(std::vector<ReadCompletion>& out,
+                                      std::chrono::nanoseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (done_.empty() && wait.count() > 0 && in_flight_ > 0) {
+    done_cv_.wait_for(lock, wait, [this] { return !done_.empty(); });
+  }
+  const std::size_t n = done_.size();
+  if (n != 0) {
+    out.insert(out.end(), done_.begin(), done_.end());
+    done_.clear();
+    in_flight_ -= n;
+  }
+  return n;
+}
+
+std::size_t ThreadedAsyncSource::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+void ThreadedAsyncSource::reactor_loop() {
+  for (;;) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      op = pending_.front();
+      pending_.pop_front();
+    }
+    const Timer clock;
+    const io::ReadStatus status = inner_->read(op.block, op.dst, op.bytes);
+    serve_metrics().read_seconds.record_nanos(
+        static_cast<std::uint64_t>(clock.nanos()));
+    if (status != io::ReadStatus::kOk) serve_metrics().reads_failed.add();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.push_back(ReadCompletion{op.token, op.block, status});
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace ppm::serve

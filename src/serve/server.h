@@ -1,0 +1,104 @@
+// Decode-serving front end: bounded queue, admission control, plan-shared
+// batching (ppm::serve).
+//
+// DecodeServer is the request-facing layer over decode_overlapped. Its
+// contract (docs/SERVING.md):
+//
+//  * Admission — submit() enqueues when the queue is below
+//    ServerOptions::queue_depth and returns a future; at or above the
+//    watermark it rejects immediately (std::nullopt) so callers get
+//    backpressure instead of unbounded latency. Rejections are counted
+//    (serve.rejected) — a load balancer's signal to shed or retry
+//    elsewhere.
+//  * Batching — a dispatcher popping a request also claims every queued
+//    request with the same failure scenario (same plan key). The plan is
+//    fetched/verified once through the codec's cache and each member is
+//    then one region pass over its own stripe — the decode_batch idea,
+//    applied across independent requests.
+//  * Completion — every admitted request's future is eventually
+//    fulfilled, including on shutdown (the queue drains before the
+//    dispatchers exit). Futures carry the full OverlapResult, fallback
+//    ladder report included.
+//
+// Buffers, the block source and the expected-CRC span named in a request
+// are caller-owned and must stay valid until its future resolves.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "decode/scenario.h"
+#include "serve/overlap.h"
+
+namespace ppm::serve {
+
+struct ServerOptions {
+  /// Admission watermark: submit() rejects once this many requests wait.
+  std::size_t queue_depth = 64;
+  /// Dispatcher threads (each runs one batch at a time, end to end).
+  unsigned dispatchers = 2;
+  /// Claim same-scenario requests together (one plan fetch, N passes).
+  bool batch_by_plan = true;
+  /// Per-decode fetch/hedge/solve configuration.
+  OverlapOptions overlap;
+};
+
+/// One decode request. The scenario is copied; everything referenced by
+/// pointer/span must outlive the returned future's completion.
+struct ServeRequest {
+  FailureScenario scenario;
+  io::BlockSource* source = nullptr;
+  std::uint8_t* const* blocks = nullptr;
+  std::size_t block_bytes = 0;
+  std::span<const std::uint32_t> expected_crc;
+};
+
+class DecodeServer {
+ public:
+  DecodeServer(Codec& codec, ServerOptions options = {});
+  ~DecodeServer();  ///< shutdown(): drains the queue, joins dispatchers
+
+  DecodeServer(const DecodeServer&) = delete;
+  DecodeServer& operator=(const DecodeServer&) = delete;
+
+  /// Admit a request (future resolves with its OverlapResult) or reject
+  /// with std::nullopt when the queue is at the watermark or the server
+  /// is shutting down.
+  std::optional<std::future<OverlapResult>> submit(ServeRequest request);
+
+  /// Stop admitting, drain every queued request, join the dispatchers.
+  /// Idempotent.
+  void shutdown();
+
+  /// Requests currently queued (excludes the one a dispatcher is on).
+  std::size_t depth() const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<OverlapResult> promise;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  void dispatcher_loop();
+
+  Codec* codec_;
+  ServerOptions options_;
+  Timer clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::vector<std::jthread> dispatchers_;  ///< last member: joins first
+};
+
+}  // namespace ppm::serve

@@ -1,0 +1,37 @@
+// io_uring-backed AsyncBlockSource (ppm::serve), gated on liburing.
+//
+// The thread-backed reactor (async_source.h) works everywhere but pays
+// one OS thread per concurrent read. On kernels with io_uring the same
+// seam maps directly onto hardware-queued file reads: submit() preps an
+// SQE at offset block × block_bytes, poll() drains the CQ. The deepsec
+// isal-ec exemplar drives recovery exactly this way over libaio; io_uring
+// is its modern successor.
+//
+// Build gating: the backend compiles only when CMake was configured with
+// -DPPM_WITH_IOURING=ON *and* <liburing.h> was found (the ppm library
+// then defines PPM_HAVE_LIBURING). Otherwise this header still compiles
+// and the factory degrades: uring_available() is false and
+// make_uring_source() returns nullptr, so callers can fall back to the
+// threaded reactor without an #ifdef of their own.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "serve/async_source.h"
+
+namespace ppm::serve {
+
+/// True when this build carries the io_uring backend.
+bool uring_available();
+
+/// Open `path` (a flat file of `block_count` consecutive `block_bytes`
+/// regions) and serve the AsyncBlockSource seam over io_uring with the
+/// given submission-queue depth. Returns nullptr when the backend is not
+/// compiled in or the file cannot be opened / the ring cannot be set up.
+std::unique_ptr<AsyncBlockSource> make_uring_source(
+    const std::string& path, std::size_t block_count, std::size_t block_bytes,
+    unsigned queue_depth = 64);
+
+}  // namespace ppm::serve

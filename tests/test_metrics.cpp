@@ -73,6 +73,42 @@ TEST(LatencyHistogram, QuantilesAreMonotonicAndBracketed) {
   EXPECT_GT(h.quantile_seconds(0.5), 0.0);
 }
 
+TEST(LatencyHistogram, QuantileInterpolationIsPinned) {
+  // Satellite: p50/p99/p999 derivation, pinned against hand-computed
+  // linear interpolation. 4 samples of 20ns land in bucket [16,32), 4
+  // samples of 100ns in [64,128); total 8.
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.record_nanos(20);
+  for (int i = 0; i < 4; ++i) h.record_nanos(100);
+  // p50: rank = 0.5 * 7 = 3.5 -> frac 3.5/4 in [16,32) -> 16 + 0.875*16.
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 30e-9);
+  // p999: rank = 6.993 -> frac 2.993/4 in [64,128) -> 111.9ns, clamped
+  // to the observed max of 100ns (interpolation never exceeds max).
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.999), 100e-9);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.999), h.max_seconds());
+
+  // Unclamped interpolation, exact within fp error: 1000 samples of 20ns
+  // + one 100ns outlier; p50 rank = 0.5*1000 = 500 -> 16 + (500/1000)*16.
+  LatencyHistogram g;
+  for (int i = 0; i < 1000; ++i) g.record_nanos(20);
+  g.record_nanos(100);
+  EXPECT_NEAR(g.quantile_seconds(0.5), 24e-9, 1e-15);
+}
+
+TEST(LatencyHistogram, JsonCarriesP999) {
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.record_nanos(20);
+  for (int i = 0; i < 4; ++i) h.record_nanos(100);
+  std::string out;
+  h.append_json(out);
+  EXPECT_NE(out.find("\"p999_s\":1e-07"), std::string::npos) << out;
+  // Derived quantiles stay ordered in the serialized form too.
+  EXPECT_LT(out.find("\"p50_s\""), out.find("\"p95_s\""));
+  EXPECT_LT(out.find("\"p95_s\""), out.find("\"p99_s\""));
+  EXPECT_LT(out.find("\"p99_s\""), out.find("\"p999_s\""));
+  EXPECT_LT(out.find("\"p999_s\""), out.find("\"max_s\""));
+}
+
 TEST(LatencyHistogram, RecordSecondsRoundTrips) {
   LatencyHistogram h;
   h.record_seconds(0.001);  // 1e6 ns -> bucket 19 ([524288, 1048576))

@@ -71,6 +71,60 @@ TEST(Backoff, HonorsMultiplier) {
   EXPECT_EQ(backoff_delay(options, 2).count(), 900);
 }
 
+TEST(Backoff, ClampsToRemainingDeadline) {
+  // Satellite: the deadline-aware overload never schedules a sleep past
+  // the remaining budget, and a spent budget sleeps zero.
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::nanoseconds{1000};
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = std::chrono::nanoseconds{1000000};
+  // Plenty of budget: identical to the pure schedule.
+  EXPECT_EQ(
+      backoff_delay(options, 3, std::chrono::nanoseconds{1000000}).count(),
+      8000);
+  // Budget smaller than the schedule: clamped exactly to it.
+  EXPECT_EQ(backoff_delay(options, 3, std::chrono::nanoseconds{500}).count(),
+            500);
+  // Spent or overdrawn budget: no sleep at all.
+  EXPECT_EQ(backoff_delay(options, 0, std::chrono::nanoseconds{0}).count(),
+            0);
+  EXPECT_EQ(backoff_delay(options, 0, std::chrono::nanoseconds{-50}).count(),
+            0);
+}
+
+TEST(Backoff, RetryLoopNeverOversleepsTheDeadline) {
+  // Regression: a huge initial backoff plus a short deadline must not
+  // stall the decode for the full backoff — the clamped sleep keeps the
+  // whole resilient call in the deadline's neighborhood.
+  const RSCode code(6, 3, 8);
+  Codec codec(code);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 77);
+  const FailureScenario sc({1});
+  stripe.erase(sc);
+  const auto ptrs = snapshot_ptrs(snap, code.total_blocks(), 512);
+  MemoryBlockSource inner(ptrs.data(), code.total_blocks(), 512);
+  FaultInjectingSource source(inner);
+  FaultSpec dead;
+  dead.fail_always = true;
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    if (b != 1) source.set_fault(b, dead);  // every survivor unreadable
+  }
+  ResilienceOptions options;
+  options.max_read_retries = 4;
+  options.initial_backoff = std::chrono::seconds{10};  // would stall 10s+
+  options.deadline = std::chrono::milliseconds{20};
+  const Timer timer;
+  const auto out =
+      codec.decode_resilient(sc, source, stripe.block_ptrs(), 512, options);
+  EXPECT_FALSE(out.complete);
+  // The ladder may report the failure as retry exhaustion or as a
+  // deadline hit depending on which trips first; the regression being
+  // pinned is purely the wall clock: 20ms budget, generous scheduling
+  // slack — nowhere near the 10s configured sleep.
+  EXPECT_LT(timer.seconds(), 2.0);
+}
+
 // ---- pipeline behavior -------------------------------------------------
 
 TEST(Resilient, EmptyScenarioCompletesWithoutReads) {

@@ -18,6 +18,12 @@
 //                    [--sweep <disks>] [--seed S] [--rounds R]   campaign
 //                    [--permanent P] [--transient P] [--corrupt P]   against
 //                    [--straggle P] [--retries N]   the resilient pipeline
+//   ppm_cli serve    --code <family> [params]      decode-serving campaign:
+//                    [--sweep <disks>] [--seed S] [--rounds R]   async fetch +
+//                    [--requests N] [--straggle P] [--delay-us U]  hedged reads
+//                    [--queue D] [--dispatchers N] [--reactors N]  + overlapped
+//                    [--serial 0|1] [--assert-ratio P] [--assert-floor-us U]
+//                    group solves vs the serial resilient baseline
 //   ppm_cli search {certify|best|ls|check|gc}      coefficient certification:
 //                    [--n N --r R --m M --s S --w W]   exhaustively prove a
 //                    [--coeffs a,b,...] [--dir <d>]    tuple (certify), search
@@ -41,9 +47,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -873,6 +881,252 @@ int cmd_chaos(const ErasureCode& code, const Args& args) {
   return verify_failures == 0 ? 0 : 1;
 }
 
+// Serving campaign (docs/SERVING.md): drive the DecodeServer +
+// decode_overlapped front end over the selected scenarios in three
+// phases — clean source, seeded transient stragglers with hedging, and
+// (--serial 1) the serial decode_resilient baseline on the *same*
+// straggler schedules — verifying byte-identity on every request and
+// reporting per-phase latency histograms (p50/p99/p999) plus hedge,
+// fallback and overlap counters as one JSON object on stdout.
+//
+// CI contract: exits 1 on any verify failure; with --assert-ratio R
+// additionally requires hedged p99 <= max(R% of clean p99,
+// --assert-floor-us) and, when the serial phase ran, hedged p99 strictly
+// below serial p99.
+int cmd_serve(const ErasureCode& code, const Args& args) {
+  const std::size_t block = args.get("block", 4096);
+  const std::size_t rounds = args.get("rounds", 2);
+  const std::size_t per_scenario = std::max<std::size_t>(
+      1, args.get("requests", 4));
+  const std::size_t retries = args.get("retries", 3);
+  const double straggle =
+      static_cast<double>(args.get("straggle", 25)) / 100.0;
+  const std::chrono::microseconds delay{args.get("delay-us", 3000)};
+  const bool run_serial = args.get("serial", 1) != 0;
+  const std::size_t assert_ratio = args.get("assert-ratio", 0);  // percent
+  const std::size_t assert_floor_us = args.get("assert-floor-us", 2000);
+  const std::uint64_t seed = args.get("seed", 1);
+
+  // One reference stripe: encode once, snapshot, digest per block.
+  Stripe reference(code, block);
+  Rng fill_rng(seed + 17);
+  reference.fill_data(fill_rng);
+  const TraditionalDecoder trad(code);
+  if (!trad.encode(reference.block_ptrs(), block)) return 1;
+  const auto snap = reference.snapshot();
+  const std::size_t total = code.total_blocks();
+  std::vector<const std::uint8_t*> backing(total);
+  std::vector<std::uint32_t> digests(total);
+  for (std::size_t b = 0; b < total; ++b) {
+    backing[b] = snap.data() + b * block;
+    digests[b] = crc32(backing[b], block);
+  }
+
+  std::vector<FailureScenario> scenarios;
+  for_each_selected_scenario(
+      code, args, [&](const FailureScenario& sc) { scenarios.push_back(sc); });
+
+  Codec codec(code);
+  io::FaultInjectingSource::CampaignOptions campaign;
+  campaign.delay = straggle;
+  campaign.delay_ns = delay;
+  campaign.delay_attempts = 1;  // transient stragglers: duplicates are fast
+
+  serve::ServerOptions sopts;
+  sopts.queue_depth = args.get("queue", 64);
+  sopts.dispatchers = static_cast<unsigned>(args.get("dispatchers", 2));
+  sopts.overlap.reactor_threads =
+      static_cast<unsigned>(args.get("reactors", 32));
+  sopts.overlap.resilience.max_read_retries = retries;
+
+  struct PhaseStats {
+    LatencyHistogram latency;  ///< per-request decode wall time
+    std::size_t requests = 0;
+    std::size_t rejected = 0;
+    std::size_t verify_failures = 0;
+    std::size_t fallbacks = 0;
+    std::size_t overlapped = 0;  ///< solves started before last read
+    std::size_t hedges_launched = 0;
+    std::size_t hedges_won = 0;
+    std::size_t hedges_wasted = 0;
+  };
+
+  const auto flag = [](PhaseStats& st, const char* phase,
+                       const FailureScenario& sc, const char* what) {
+    ++st.verify_failures;
+    std::fprintf(stderr, "VERIFY FAIL: %s phase, scenario [%s]: %s\n", phase,
+                 scenario_ids(sc).c_str(), what);
+  };
+
+  // One served phase: per scenario and round, `per_scenario` concurrent
+  // requests (same plan key — the server batches them) over per-request
+  // fault-injecting sources rolled from one seeded stream.
+  const auto run_served = [&](bool inject, const char* name, PhaseStats& st,
+                              std::uint64_t phase_seed) {
+    Rng rng(phase_seed);
+    serve::DecodeServer server(codec, sopts);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (const FailureScenario& sc : scenarios) {
+        const std::vector<std::size_t> exempt(sc.faulty().begin(),
+                                              sc.faulty().end());
+        std::vector<std::unique_ptr<Stripe>> stripes;
+        std::vector<std::unique_ptr<io::MemoryBlockSource>> inners;
+        std::vector<std::unique_ptr<io::FaultInjectingSource>> sources;
+        std::vector<std::optional<std::future<serve::OverlapResult>>> futures;
+        for (std::size_t k = 0; k < per_scenario; ++k) {
+          auto stripe = std::make_unique<Stripe>(code, block);
+          for (std::size_t b = 0; b < total; ++b) {
+            std::memcpy(stripe->block(b), backing[b], block);
+          }
+          stripe->erase(sc);
+          auto inner = std::make_unique<io::MemoryBlockSource>(
+              backing.data(), total, block);
+          auto source =
+              std::make_unique<io::FaultInjectingSource>(*inner);
+          if (inject) source->roll_campaign(campaign, rng, exempt);
+          serve::ServeRequest req;
+          req.scenario = sc;
+          req.source = source.get();
+          req.blocks = stripe->block_ptrs();
+          req.block_bytes = block;
+          req.expected_crc = digests;
+          ++st.requests;
+          futures.push_back(server.submit(std::move(req)));
+          stripes.push_back(std::move(stripe));
+          inners.push_back(std::move(inner));
+          sources.push_back(std::move(source));
+        }
+        for (std::size_t k = 0; k < per_scenario; ++k) {
+          if (!futures[k].has_value()) {
+            ++st.rejected;
+            continue;
+          }
+          const serve::OverlapResult out = futures[k]->get();
+          st.latency.record_nanos(static_cast<std::uint64_t>(out.total_ns));
+          st.fallbacks += out.fallback ? 1 : 0;
+          st.overlapped += out.overlapped ? 1 : 0;
+          st.hedges_launched += out.hedges_launched;
+          st.hedges_won += out.hedges_won;
+          st.hedges_wasted += out.hedges_wasted;
+          if (!out.complete) flag(st, name, sc, "request did not complete");
+          if (!stripes[k]->equals(snap)) {
+            flag(st, name, sc, "decoded stripe not byte-identical");
+          }
+        }
+      }
+    }
+    server.shutdown();
+  };
+
+  PhaseStats clean;
+  PhaseStats hedged;
+  PhaseStats serial;
+  run_served(false, "clean", clean, seed);
+  run_served(true, "hedged", hedged, seed + 1000);
+
+  if (run_serial) {
+    // The serial baseline replays the hedged phase's exact straggler
+    // schedules (same seed stream) through decode_resilient.
+    Rng rng(seed + 1000);
+    ResilienceOptions ropt;
+    ropt.max_read_retries = retries;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (const FailureScenario& sc : scenarios) {
+        const std::vector<std::size_t> exempt(sc.faulty().begin(),
+                                              sc.faulty().end());
+        for (std::size_t k = 0; k < per_scenario; ++k) {
+          Stripe stripe(code, block);
+          for (std::size_t b = 0; b < total; ++b) {
+            std::memcpy(stripe.block(b), backing[b], block);
+          }
+          stripe.erase(sc);
+          io::MemoryBlockSource inner(backing.data(), total, block);
+          io::FaultInjectingSource source(inner);
+          source.roll_campaign(campaign, rng, exempt);
+          ++serial.requests;
+          const Timer timer;
+          const auto out = codec.decode_resilient(
+              sc, source, stripe.block_ptrs(), block, ropt, digests);
+          serial.latency.record_nanos(
+              static_cast<std::uint64_t>(timer.nanos()));
+          if (!out.complete) flag(serial, "serial", sc, "incomplete");
+          if (!stripe.equals(snap)) {
+            flag(serial, "serial", sc, "decoded stripe not byte-identical");
+          }
+        }
+      }
+    }
+  }
+
+  const std::size_t verify_failures = clean.verify_failures +
+                                      hedged.verify_failures +
+                                      serial.verify_failures;
+  const auto phase_json = [](std::string& out, const char* name,
+                             const PhaseStats& st) {
+    out += "\"";
+    out += name;
+    out += "\":{\"requests\":" + std::to_string(st.requests);
+    out += ",\"rejected\":" + std::to_string(st.rejected);
+    out += ",\"verify_failures\":" + std::to_string(st.verify_failures);
+    out += ",\"fallbacks\":" + std::to_string(st.fallbacks);
+    out += ",\"overlapped\":" + std::to_string(st.overlapped);
+    out += ",\"hedges\":{\"launched\":" + std::to_string(st.hedges_launched);
+    out += ",\"won\":" + std::to_string(st.hedges_won);
+    out += ",\"wasted\":" + std::to_string(st.hedges_wasted);
+    out += "},\"latency\":";
+    st.latency.append_json(out);
+    out += "}";
+  };
+  std::string json = "{\"code\":\"" + code.name() + "\",";
+  phase_json(json, "clean", clean);
+  json += ",";
+  phase_json(json, "hedged", hedged);
+  if (run_serial) {
+    json += ",";
+    phase_json(json, "serial", serial);
+  }
+  json += ",\"verify_failures\":" + std::to_string(verify_failures) + "}";
+  std::printf("%s\n", json.c_str());
+  if (args.get("metrics", 0) != 0) {
+    std::fprintf(stderr, "%s\n", serve_metrics().to_json().c_str());
+  }
+
+  const double clean_p99 = clean.latency.quantile_seconds(0.99);
+  const double hedged_p99 = hedged.latency.quantile_seconds(0.99);
+  const double serial_p99 = serial.latency.quantile_seconds(0.99);
+  std::fprintf(stderr,
+               "%s: serve campaign: %zu requests, p99 clean %.3gms hedged "
+               "%.3gms serial %.3gms, %zu hedges (%zu won), %zu fallbacks, "
+               "%zu verify failure(s)\n",
+               code.name().c_str(),
+               clean.requests + hedged.requests + serial.requests,
+               clean_p99 * 1e3, hedged_p99 * 1e3, serial_p99 * 1e3,
+               hedged.hedges_launched, hedged.hedges_won, hedged.fallbacks,
+               verify_failures);
+  if (verify_failures != 0) return 1;
+  if (assert_ratio > 0) {
+    const double allowed =
+        std::max(clean_p99 * static_cast<double>(assert_ratio) / 100.0,
+                 static_cast<double>(assert_floor_us) * 1e-6);
+    if (hedged_p99 > allowed) {
+      std::fprintf(stderr,
+                   "ASSERT FAIL: hedged p99 %.6fs > allowed %.6fs "
+                   "(%zu%% of clean p99 %.6fs, floor %zuus)\n",
+                   hedged_p99, allowed, assert_ratio, clean_p99,
+                   assert_floor_us);
+      return 1;
+    }
+    if (run_serial && hedged_p99 >= serial_p99) {
+      std::fprintf(stderr,
+                   "ASSERT FAIL: hedged p99 %.6fs does not beat serial "
+                   "p99 %.6fs\n",
+                   hedged_p99, serial_p99);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_selftest(const ErasureCode& code, const Args& args) {
   const std::size_t block = args.get("block", 65536);
   ScenarioGenerator gen(args.get("seed", 1));
@@ -1205,17 +1459,20 @@ int main(int argc, char** argv) {
   if (args.command.empty()) {
     std::fprintf(stderr,
                  "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
-                 "analyze|store|chaos|search} "
+                 "analyze|store|chaos|serve|search} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
                  "[params]\n"
                  "       %s store {build|ls|check|gc} --dir <dir> [params]\n"
                  "       %s chaos --code <family> [--sweep N] [--seed S] "
                  "[--rounds R] [--permanent P] [--transient P] [--corrupt P] "
                  "[--straggle P] [--retries N]\n"
+                 "       %s serve --code <family> [--sweep N] [--seed S] "
+                 "[--rounds R] [--requests N] [--straggle P] [--delay-us U] "
+                 "[--serial 0|1] [--assert-ratio P]\n"
                  "       %s search {certify|best|ls|check|gc} "
                  "[--n N --r R --m M --s S --w W] [--coeffs a,b,...] "
                  "[--dir <d>]\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
@@ -1234,6 +1491,7 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(*code, args);
     if (args.command == "store") return cmd_store(*code, args);
     if (args.command == "chaos") return cmd_chaos(*code, args);
+    if (args.command == "serve") return cmd_serve(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {
