@@ -4,12 +4,14 @@
 #include "codec/resilient.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
 
 #include "codec/codec.h"
 #include "common/crc32.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "decode/log_table.h"
 #include "decode/partition.h"
@@ -36,6 +38,18 @@ std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
   return std::min(backoff_delay(options, retry_index), remaining);
 }
 
+std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
+                                       std::size_t retry_index, Rng& rng) {
+  const std::chrono::nanoseconds base = backoff_delay(options, retry_index);
+  double jitter = options.backoff_jitter;
+  if (jitter <= 0.0) return base;  // no draw: bit-identical to the base form
+  if (jitter > 1.0) jitter = 1.0;
+  const double b = static_cast<double>(base.count());
+  const double lo = b * (1.0 - jitter);
+  return std::chrono::nanoseconds{
+      static_cast<std::int64_t>(lo + rng.uniform() * (b - lo))};
+}
+
 RecoveryOutcome ResilientResult::outcome_of(std::size_t block) const {
   const auto in = [block](const std::vector<std::size_t>& v) {
     return std::binary_search(v.begin(), v.end(), block);
@@ -50,6 +64,15 @@ RecoveryOutcome ResilientResult::outcome_of(std::size_t block) const {
 namespace {
 
 enum class FetchState : std::uint8_t { kUnread, kInBuffer, kFailed };
+
+/// Jitter-stream seed for decodes that did not pin one: a process-global
+/// counter, so concurrent decodes retrying against the same dead device
+/// draw from distinct streams and spread out instead of thundering in
+/// lockstep.
+std::uint64_t next_jitter_seed() {
+  static std::atomic<std::uint64_t> counter{0x9e3779b97f4a7c15ULL};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Survivor fetch engine: reads blocks from the source into the caller's
 /// stripe buffers exactly once per decode, with bounded retries,
@@ -71,7 +94,9 @@ class Fetcher {
         clock_(&clock),
         metrics_(&metrics),
         out_(&out),
-        state_(source.block_count(), FetchState::kUnread) {}
+        state_(source.block_count(), FetchState::kUnread),
+        jitter_rng_(options.jitter_seed != 0 ? options.jitter_seed
+                                             : next_jitter_seed()) {}
 
   /// True once the per-decode deadline (if any) has elapsed. From then on
   /// no source reads or backoff sleeps are issued.
@@ -124,12 +149,14 @@ class Fetcher {
  private:
   bool has_digests() const { return !expected_crc_.empty(); }
 
-  void sleep_backoff(std::size_t retry_index) const {
-    auto delay = backoff_delay(*options_, retry_index);
+  void sleep_backoff(std::size_t retry_index) {
+    // Jitter first, then clamp: the deadline budget always wins.
+    auto delay = backoff_delay(*options_, retry_index, jitter_rng_);
     if (options_->deadline.count() > 0) {
-      delay = backoff_delay(*options_, retry_index,
-                            std::chrono::nanoseconds{
-                                options_->deadline.count() - clock_->nanos()});
+      const std::chrono::nanoseconds remaining{options_->deadline.count() -
+                                               clock_->nanos()};
+      delay = remaining.count() <= 0 ? std::chrono::nanoseconds{0}
+                                     : std::min(delay, remaining);
     }
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }
@@ -143,6 +170,7 @@ class Fetcher {
   CodecMetrics* metrics_;
   ResilientResult* out_;
   std::vector<FetchState> state_;
+  Rng jitter_rng_;  ///< per-decode jitter stream (see ResilienceOptions)
 };
 
 /// Classify every block into the result's disjoint outcome lists, set the

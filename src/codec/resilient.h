@@ -27,12 +27,15 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "decode/plan.h"
 #include "decode/scenario.h"
 
 namespace ppm {
+
+class Rng;
 
 /// Knobs of the resilient decode ladder. Defaults are test-friendly
 /// (microsecond backoff); serving deployments tune them to the medium.
@@ -45,6 +48,17 @@ struct ResilienceOptions {
   std::chrono::nanoseconds initial_backoff{1000};
   double backoff_multiplier = 2.0;
   std::chrono::nanoseconds max_backoff{1000000};
+
+  /// Jitter fraction in [0, 1]: each backoff sleep is drawn uniformly
+  /// from [(1 - jitter) * base, base], decorrelating the retry storms of
+  /// decodes that hit the same failed device in lockstep. 0 (default)
+  /// reproduces the exact exponential schedule.
+  double backoff_jitter = 0.0;
+
+  /// Seed for the jitter stream. 0 (default) gives every decode its own
+  /// stream (a process-global counter), which is what production wants;
+  /// tests pin a nonzero seed to make the jittered schedule replayable.
+  std::uint64_t jitter_seed = 0;
 
   /// Wall-clock budget for the whole decode (reads + retries + solves);
   /// zero means no deadline. Once exceeded, no further source reads or
@@ -71,6 +85,16 @@ std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
 std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
                                        std::size_t retry_index,
                                        std::chrono::nanoseconds remaining);
+
+/// Jittered overload: the exponential backoff for `retry_index`, scaled
+/// by a uniform draw from `rng` into [(1 - backoff_jitter) * base, base].
+/// With backoff_jitter == 0 no draw is consumed and the result equals the
+/// base form exactly. Deterministic for a given rng state — seed it to
+/// replay a schedule. The pipeline composes this with the deadline clamp
+/// (jitter first, then min with the remaining budget), so a near-expired
+/// deadline still can never oversleep.
+std::chrono::nanoseconds backoff_delay(const ResilienceOptions& options,
+                                       std::size_t retry_index, Rng& rng);
 
 /// Final, mutually exclusive per-block outcome of a resilient decode.
 enum class RecoveryOutcome {

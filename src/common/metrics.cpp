@@ -280,4 +280,76 @@ ServeMetrics& serve_metrics() {
   return metrics;
 }
 
+void ScrubMetrics::reset() {
+  sweeps.reset();
+  stripes_scanned.reset();
+  blocks_scanned.reset();
+  bytes_scanned.reset();
+  read_failures.reset();
+  crc_mismatches.reset();
+  latent_detected.reset();
+  spot_checks.reset();
+  spot_check_failures.reset();
+  stripes_ranked.reset();
+  repairs_attempted.reset();
+  repairs_completed.reset();
+  repairs_partial.reset();
+  repairs_failed.reset();
+  repairs_skipped.reset();
+  blocks_repaired.reset();
+  writebacks.reset();
+  writeback_failures.reset();
+  rate_limit_waits.reset();
+  journal_intents.reset();
+  journal_commits.reset();
+  journal_store_failures.reset();
+  journal_replayed.reset();
+  journal_quarantined.reset();
+  journal_pending.reset();
+  sweep_seconds.reset();
+  repair_seconds.reset();
+}
+
+std::string ScrubMetrics::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"scrub\":{";
+  append_kv(out, "sweeps", sweeps.value());
+  append_kv(out, "stripes_scanned", stripes_scanned.value());
+  append_kv(out, "blocks_scanned", blocks_scanned.value());
+  append_kv(out, "bytes_scanned", bytes_scanned.value());
+  append_kv(out, "read_failures", read_failures.value());
+  append_kv(out, "crc_mismatches", crc_mismatches.value());
+  append_kv(out, "latent_detected", latent_detected.value());
+  append_kv(out, "spot_checks", spot_checks.value());
+  append_kv(out, "spot_check_failures", spot_check_failures.value());
+  append_kv(out, "stripes_ranked", stripes_ranked.value());
+  append_kv(out, "repairs_attempted", repairs_attempted.value());
+  append_kv(out, "repairs_completed", repairs_completed.value());
+  append_kv(out, "repairs_partial", repairs_partial.value());
+  append_kv(out, "repairs_failed", repairs_failed.value());
+  append_kv(out, "repairs_skipped", repairs_skipped.value());
+  append_kv(out, "blocks_repaired", blocks_repaired.value());
+  append_kv(out, "writebacks", writebacks.value());
+  append_kv(out, "writeback_failures", writeback_failures.value());
+  append_kv(out, "rate_limit_waits", rate_limit_waits.value());
+  append_kv(out, "journal_intents", journal_intents.value());
+  append_kv(out, "journal_commits", journal_commits.value());
+  append_kv(out, "journal_store_failures", journal_store_failures.value());
+  append_kv(out, "journal_replayed", journal_replayed.value());
+  append_kv(out, "journal_quarantined", journal_quarantined.value());
+  append_kv(out, "journal_pending", journal_pending.value());
+  out += "\"latency\":{\"sweep\":";
+  sweep_seconds.append_json(out);
+  out += ",\"repair\":";
+  repair_seconds.append_json(out);
+  out += "}}}";
+  return out;
+}
+
+ScrubMetrics& scrub_metrics() {
+  static ScrubMetrics metrics;
+  return metrics;
+}
+
 }  // namespace ppm

@@ -273,4 +273,55 @@ struct ServeMetrics {
 /// The process-global serving metric set.
 ServeMetrics& serve_metrics();
 
+/// Scrub & proactive-repair metrics (scrub/). Process-global: one
+/// Scrubber typically patrols the process's fleet, and the repair
+/// journal records here even when driven standalone. Every member is
+/// individually thread-safe.
+struct ScrubMetrics {
+  // Sweep volume and detection.
+  Counter sweeps;            ///< sweep() passes over a fleet
+  Counter stripes_scanned;   ///< stripes examined across sweeps
+  Counter blocks_scanned;    ///< blocks read + digest-checked
+  Counter bytes_scanned;     ///< bytes fetched by scrub reads
+  Counter read_failures;     ///< scrub reads exhausting their retries
+  Counter crc_mismatches;    ///< digest mismatches on readable blocks
+  Counter latent_detected;   ///< blocks classified latent (either cause)
+  Counter spot_checks;       ///< verify-decode spot checks run
+  Counter spot_check_failures;  ///< spot checks that did not complete
+
+  // Risk-ranked repair scheduler.
+  Counter stripes_ranked;      ///< damage reports risk-assessed
+  Counter repairs_attempted;   ///< stripes entering repair
+  Counter repairs_completed;   ///< every damaged block recovered + verified
+  Counter repairs_partial;     ///< some blocks recovered, not all
+  Counter repairs_failed;      ///< nothing recovered
+  Counter repairs_skipped;     ///< damage healed (or claimed) before repair
+  Counter blocks_repaired;     ///< blocks recovered, digest-verified
+  Counter writebacks;          ///< repaired blocks written back to storage
+  Counter writeback_failures;  ///< writebacks that failed (no commit)
+
+  // Token-bucket pacing.
+  Counter rate_limit_waits;  ///< scrub I/O acquisitions that had to sleep
+
+  // Write-ahead repair journal (scrub/journal.h; zero-trust contract).
+  Counter journal_intents;         ///< intent records published
+  Counter journal_commits;         ///< records sealed committed
+  Counter journal_store_failures;  ///< journal writes aborted by I/O errors
+  Counter journal_replayed;        ///< records re-verified during replay
+  Counter journal_quarantined;     ///< records renamed aside as untrusted
+  Counter journal_pending;         ///< intent-only records found by replay
+
+  // Latency.
+  LatencyHistogram sweep_seconds;   ///< per-fleet sweep wall time
+  LatencyHistogram repair_seconds;  ///< per-stripe repair wall time
+
+  void reset();
+
+  /// `{"scrub":{...}}` — the export format of `ppm_cli scrub --metrics`.
+  std::string to_json() const;
+};
+
+/// The process-global scrub metric set.
+ScrubMetrics& scrub_metrics();
+
 }  // namespace ppm

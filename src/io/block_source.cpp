@@ -13,4 +13,24 @@ ReadStatus MemoryBlockSource::read(std::size_t block, std::uint8_t* dst,
   return ReadStatus::kOk;
 }
 
+ReadStatus MemoryBlockStore::read(std::size_t block, std::uint8_t* dst,
+                                  std::size_t bytes) {
+  if (block >= count_ || bytes > block_bytes_ || dst == nullptr) {
+    return ReadStatus::kFailed;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::memcpy(dst, blocks_[block], bytes);
+  return ReadStatus::kOk;
+}
+
+WriteStatus MemoryBlockStore::write(std::size_t block, const std::uint8_t* src,
+                                    std::size_t bytes) {
+  if (block >= count_ || bytes > block_bytes_ || src == nullptr) {
+    return WriteStatus::kFailed;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::memcpy(blocks_[block], src, bytes);
+  return WriteStatus::kOk;
+}
+
 }  // namespace ppm::io

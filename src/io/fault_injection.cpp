@@ -15,6 +15,7 @@ void FaultInjectingSource::set_fault(std::size_t block,
   if (block >= specs_.size()) return;
   specs_[block] = spec;
   attempts_[block] = 0;
+  write_attempts_[block] = 0;
 }
 
 const FaultSpec& FaultInjectingSource::fault(std::size_t block) const {
@@ -52,6 +53,67 @@ void FaultInjectingSource::roll_campaign(
   }
 }
 
+void FaultInjectingSource::roll_arrivals(
+    const ArrivalOptions& options, Rng& rng,
+    const std::vector<std::size_t>& exempt) {
+  // Separate stream discipline from roll_campaign: every block draws the
+  // same four values in the same order regardless of exemption or which
+  // class (if any) it lands in, so the schedule of block b is a function
+  // of the seed and the options alone.
+  std::vector<Arrival> rolled;
+  const std::size_t horizon = options.epochs == 0 ? 1 : options.epochs;
+  for (std::size_t b = 0; b < specs_.size(); ++b) {
+    const double roll = rng.uniform();
+    const std::size_t epoch = 1 + rng.bounded(horizon);
+    const std::size_t corrupt_offset =
+        block_bytes() == 0 ? 0 : rng.bounded(block_bytes());
+    const std::size_t corrupt_len = 1 + rng.bounded(16);
+    if (std::find(exempt.begin(), exempt.end(), b) != exempt.end()) continue;
+    Arrival arrival;
+    arrival.block = b;
+    arrival.epoch = epoch;
+    double threshold = options.fail_permanent;
+    if (roll < threshold) {
+      arrival.spec.fail_always = true;
+    } else if (roll < threshold + options.corrupt) {
+      arrival.spec.corrupt = true;
+      arrival.spec.corrupt_offset = corrupt_offset;
+      arrival.spec.corrupt_bytes =
+          std::min(corrupt_len, block_bytes() - corrupt_offset);
+    } else {
+      continue;  // this block stays healthy
+    }
+    rolled.push_back(arrival);
+  }
+  std::sort(rolled.begin(), rolled.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch
+                                        : a.block < b.block;
+            });
+  const std::lock_guard<std::mutex> lock(mutex_);
+  arrivals_ = std::move(rolled);
+  epoch_ = 0;
+}
+
+std::size_t FaultInjectingSource::advance_epoch() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
+  std::size_t landed = 0;
+  for (const Arrival& a : arrivals_) {
+    if (a.epoch != epoch_ || a.block >= specs_.size()) continue;
+    specs_[a.block] = a.spec;
+    attempts_[a.block] = 0;
+    write_attempts_[a.block] = 0;
+    ++landed;
+  }
+  return landed;
+}
+
+std::size_t FaultInjectingSource::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
 ReadStatus FaultInjectingSource::read(std::size_t block, std::uint8_t* dst,
                                       std::size_t bytes) {
   reads_attempted_.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +149,46 @@ ReadStatus FaultInjectingSource::read(std::size_t block, std::uint8_t* dst,
     if (len > 0) corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
   }
   return ReadStatus::kOk;
+}
+
+WriteStatus FaultInjectingSource::write(std::size_t block,
+                                        const std::uint8_t* src,
+                                        std::size_t bytes) {
+  writes_attempted_.fetch_add(1, std::memory_order_relaxed);
+  if (writer_ == nullptr) {
+    write_failures_injected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteStatus::kFailed;
+  }
+  if (block >= specs_.size()) return writer_->write(block, src, bytes);
+  FaultSpec spec;
+  std::size_t attempt;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spec = specs_[block];
+    attempt = write_attempts_[block]++;
+  }
+  if (spec.fail_write_always || attempt < spec.fail_writes) {
+    write_failures_injected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteStatus::kFailed;
+  }
+  if (spec.short_write_bytes < bytes) {
+    // Torn write: the prefix lands, then the device gives up — the block
+    // now holds a mix of old and new bytes.
+    write_failures_injected_.fetch_add(1, std::memory_order_relaxed);
+    (void)writer_->write(block, src, spec.short_write_bytes);
+    return WriteStatus::kFailed;
+  }
+  const WriteStatus status = writer_->write(block, src, bytes);
+  if (status != WriteStatus::kOk) return status;
+  // A full successful write heals the read side: the rewritten sector
+  // reads back what was written. Write-side faults persist (a nearly
+  // full device stays nearly full).
+  const std::lock_guard<std::mutex> lock(mutex_);
+  specs_[block].fail_always = false;
+  specs_[block].fail_reads = 0;
+  specs_[block].corrupt = false;
+  attempts_[block] = 0;
+  return WriteStatus::kOk;
 }
 
 }  // namespace ppm::io

@@ -67,6 +67,18 @@ struct FaultSpec {
   std::size_t corrupt_bytes = 0;
   std::uint8_t corrupt_mask = 0xFF;
 
+  /// Write-side faults (the BlockWriter path; reads are unaffected).
+  /// fail_write_always models a full or write-protected device;
+  /// fail_writes fails the first N write attempts then recovers. A
+  /// short_write_bytes below the write size tears the write: that many
+  /// bytes land in the inner store, then the attempt fails — the caller
+  /// must treat the block as unspecified, exactly the crash window the
+  /// repair journal's write-ahead contract exists for.
+  static constexpr std::size_t kFullWrite = static_cast<std::size_t>(-1);
+  bool fail_write_always = false;
+  std::size_t fail_writes = 0;
+  std::size_t short_write_bytes = kFullWrite;
+
   /// True when this spec can never return clean bytes to a caller that
   /// retries at most `retries` times: permanently failing, failing longer
   /// than the retry budget, or corrupting every success.
@@ -75,13 +87,20 @@ struct FaultSpec {
   }
 };
 
-class FaultInjectingSource : public BlockSource {
+class FaultInjectingSource : public BlockSource, public BlockWriter {
  public:
   /// Wraps `inner` (which must outlive this source) with no faults.
+  /// Reads pass through with faults applied; writes fail (no writer).
   explicit FaultInjectingSource(BlockSource& inner)
-      : inner_(&inner),
-        specs_(inner.block_count()),
-        attempts_(inner.block_count(), 0) {}
+      : FaultInjectingSource(inner, nullptr) {}
+
+  /// Read/write wrapper: reads go to `inner`, writes to `writer` (both
+  /// must outlive this source). A successful write *heals* the block's
+  /// read-side faults — the repaired sector reads clean from then on —
+  /// which is what lets a scrub repair writeback actually fix a latent
+  /// error instead of re-detecting it every sweep.
+  FaultInjectingSource(BlockSource& inner, BlockWriter& writer)
+      : FaultInjectingSource(inner, &writer) {}
 
   std::size_t block_count() const override { return inner_->block_count(); }
   std::size_t block_bytes() const override { return inner_->block_bytes(); }
@@ -113,8 +132,52 @@ class FaultInjectingSource : public BlockSource {
   void roll_campaign(const CampaignOptions& options, Rng& rng,
                      const std::vector<std::size_t>& exempt = {});
 
+  /// One scheduled latent error: `spec` is installed on `block` when
+  /// advance_epoch() reaches `epoch`. Errors *arrive* mid-campaign
+  /// instead of existing from setup — the scrub sweep model.
+  struct Arrival {
+    std::size_t block = 0;
+    std::size_t epoch = 1;
+    FaultSpec spec;
+  };
+
+  /// Probabilities for one seeded arrival roll. Each block draws at most
+  /// one latent-error class (permanent death, then silent corruption);
+  /// a drawn error's epoch is uniform in [1, epochs].
+  struct ArrivalOptions {
+    double fail_permanent = 0.0;  ///< block dies at its arrival epoch
+    double corrupt = 0.0;         ///< 1..16-byte torn range from then on
+    std::size_t epochs = 1;       ///< arrival epochs are 1..epochs
+  };
+
+  /// Roll an arrival schedule from `rng` (replacing any previous one).
+  /// Like roll_campaign, every block draws — exempt or not — so the
+  /// schedule is a function of the seed alone. Campaign drivers then call
+  /// advance_epoch() once per sweep round; arrivals() is the oracle a
+  /// harness judges detection/repair completeness against.
+  void roll_arrivals(const ArrivalOptions& options, Rng& rng,
+                     const std::vector<std::size_t>& exempt = {});
+
+  /// Install every arrival scheduled for the next epoch. Returns the
+  /// number of faults that landed. Thread-safe against concurrent reads.
+  std::size_t advance_epoch();
+
+  /// Epochs advanced so far (0 before the first advance_epoch()).
+  std::size_t epoch() const;
+
+  /// The rolled arrival schedule, sorted by (epoch, block). Quiescent
+  /// inspection only, like fault().
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+
   ReadStatus read(std::size_t block, std::uint8_t* dst,
                   std::size_t bytes) override;
+
+  /// Apply the block's write-side faults, forward to the writer, and on
+  /// success heal the block's read-side faults (see the constructor). A
+  /// torn write (short_write_bytes) lands its prefix in the inner store
+  /// before failing. Fails outright when no writer was attached.
+  WriteStatus write(std::size_t block, const std::uint8_t* src,
+                    std::size_t bytes) override;
 
   // Injection counters (cumulative over the source's lifetime; relaxed
   // atomics, so concurrent readers observe consistent per-counter values).
@@ -130,16 +193,35 @@ class FaultInjectingSource : public BlockSource {
   std::size_t delays_injected() const {
     return delays_injected_.load(std::memory_order_relaxed);
   }
+  std::size_t writes_attempted() const {
+    return writes_attempted_.load(std::memory_order_relaxed);
+  }
+  std::size_t write_failures_injected() const {
+    return write_failures_injected_.load(std::memory_order_relaxed);
+  }
 
  private:
+  FaultInjectingSource(BlockSource& inner, BlockWriter* writer)
+      : inner_(&inner),
+        writer_(writer),
+        specs_(inner.block_count()),
+        attempts_(inner.block_count(), 0),
+        write_attempts_(inner.block_count(), 0) {}
+
   BlockSource* inner_;
-  mutable std::mutex mutex_;           ///< guards specs_ and attempts_
+  BlockWriter* writer_;                ///< null: writes always fail
+  mutable std::mutex mutex_;           ///< guards specs_, attempts_, epoch_
   std::vector<FaultSpec> specs_;
-  std::vector<std::size_t> attempts_;  ///< per-block read-attempt count
+  std::vector<std::size_t> attempts_;        ///< per-block read attempts
+  std::vector<std::size_t> write_attempts_;  ///< per-block write attempts
+  std::vector<Arrival> arrivals_;      ///< rolled latent-error schedule
+  std::size_t epoch_ = 0;              ///< arrival epochs advanced so far
   std::atomic<std::size_t> reads_attempted_{0};
   std::atomic<std::size_t> failures_injected_{0};
   std::atomic<std::size_t> corruptions_injected_{0};
   std::atomic<std::size_t> delays_injected_{0};
+  std::atomic<std::size_t> writes_attempted_{0};
+  std::atomic<std::size_t> write_failures_injected_{0};
 };
 
 }  // namespace ppm::io

@@ -610,23 +610,36 @@ PlanStore::CheckReport PlanStore::check(const ErasureCode& code) {
   return report;
 }
 
-PlanStore::GcReport PlanStore::gc() {
+PlanStore::GcReport PlanStore::gc(std::size_t keep_quarantined) {
   GcReport report;
   const std::scoped_lock lock(mutex_);
-  std::vector<std::filesystem::path> doomed_quarantined;
+  std::vector<std::filesystem::path> quarantined;
   std::vector<std::filesystem::path> doomed_tmp;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (name.ends_with(".quarantined")) {
-      doomed_quarantined.push_back(entry.path());
+      quarantined.push_back(entry.path());
     } else if (name.ends_with(".tmp")) {
       doomed_tmp.push_back(entry.path());
     }
   }
+  // Age out quarantined files newest-first (write time, then name) so a
+  // bounded forensic window survives repeated gc passes.
+  std::sort(quarantined.begin(), quarantined.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              std::error_code ta_ec;
+              std::error_code tb_ec;
+              const auto ta = std::filesystem::last_write_time(a, ta_ec);
+              const auto tb = std::filesystem::last_write_time(b, tb_ec);
+              if (ta != tb) return ta > tb;
+              return a.filename().string() > b.filename().string();
+            });
   std::error_code ec;
-  for (const auto& path : doomed_quarantined) {
-    if (std::filesystem::remove(path, ec)) ++report.removed_quarantined;
+  for (std::size_t i = keep_quarantined; i < quarantined.size(); ++i) {
+    if (std::filesystem::remove(quarantined[i], ec)) {
+      ++report.removed_quarantined;
+    }
   }
   for (const auto& path : doomed_tmp) {
     if (std::filesystem::remove(path, ec)) ++report.removed_tmp;

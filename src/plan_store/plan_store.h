@@ -157,12 +157,14 @@ class PlanStore {
   CheckReport check(const ErasureCode& code);
 
   /// Remove quarantined records and orphaned temporaries. Healthy records
-  /// are never touched.
+  /// are never touched. The newest `keep_quarantined` quarantined files
+  /// (by last write time, names breaking ties) are retained for
+  /// forensics; the default 0 removes them all.
   struct GcReport {
     std::size_t removed_quarantined = 0;
     std::size_t removed_tmp = 0;
   };
-  GcReport gc();
+  GcReport gc(std::size_t keep_quarantined = 0);
 
   /// Canonical record file name for a key.
   static std::string record_filename(const ErasureCode& code,

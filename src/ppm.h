@@ -64,6 +64,9 @@
 #include "search_coeff/certify.h"
 #include "search_coeff/scenario_enum.h"
 #include "search_coeff/search.h"
+#include "scrub/journal.h"
+#include "scrub/rate_limiter.h"
+#include "scrub/scrub.h"
 #include "serve/async_source.h"
 #include "serve/overlap.h"
 #include "serve/server.h"

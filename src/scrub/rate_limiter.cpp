@@ -1,0 +1,33 @@
+#include "scrub/rate_limiter.h"
+
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace ppm::scrub {
+
+std::chrono::nanoseconds TokenBucket::acquire_at(std::size_t bytes,
+                                                 std::int64_t now_ns) {
+  if (unlimited() || bytes == 0) return std::chrono::nanoseconds{0};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (now_ns > last_ns_) {
+    tokens_ += rate_ * static_cast<double>(now_ns - last_ns_) * 1e-9;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ns_ = now_ns;
+  }
+  tokens_ -= static_cast<double>(bytes);
+  if (tokens_ >= 0.0) return std::chrono::nanoseconds{0};
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  const double wait_ns = -tokens_ / rate_ * 1e9;
+  return std::chrono::nanoseconds{static_cast<std::int64_t>(wait_ns)};
+}
+
+void TokenBucket::acquire(std::size_t bytes) {
+  const auto wait = acquire_at(bytes, clock_.nanos());
+  if (wait.count() > 0) {
+    scrub_metrics().rate_limit_waits.add();
+    std::this_thread::sleep_for(wait);
+  }
+}
+
+}  // namespace ppm::scrub

@@ -1,0 +1,90 @@
+// Token-bucket pacing for scrub I/O (ppm::scrub).
+//
+// A continuous scrub must never starve the serving path it shares a
+// fleet with: docs/SERVING.md gates the serve campaign on a p99 ratio,
+// and an unthrottled sweep reading every block of every stripe would
+// blow straight through it. The TokenBucket meters scrub bytes against a
+// refill rate with a bounded burst; RateLimitedSource is the BlockSource
+// adapter that pays for each read before issuing it, so everything the
+// scrubber fetches — sweep reads, repair survivor reads, replay
+// re-verification — is paced by one budget while foreground decode
+// traffic bypasses the bucket entirely.
+//
+// The bucket's core is a pure state machine (acquire_at) driven by
+// caller-supplied elapsed nanoseconds, so unit tests exercise the refill
+// and debt math without sleeping; acquire() is the sleeping wrapper over
+// an internal steady clock. Thread-safe: acquisitions are serialized by
+// an internal mutex (the sleep happens outside it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/timer.h"
+#include "io/block_source.h"
+
+namespace ppm::scrub {
+
+class TokenBucket {
+ public:
+  /// A bucket refilling at `bytes_per_second` with at most `burst_bytes`
+  /// banked. Rate <= 0 means unlimited (acquire never waits).
+  TokenBucket(double bytes_per_second, std::size_t burst_bytes)
+      : rate_(bytes_per_second),
+        burst_(static_cast<double>(burst_bytes)),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  /// Account an acquisition of `bytes` at elapsed time `now_ns` and
+  /// return how long the caller must wait before proceeding. The bucket
+  /// runs a debt model: the acquisition is always granted, tokens may go
+  /// negative, and the wait is the time until the debt refills — so
+  /// consumers of oversized requests wait proportionally instead of
+  /// deadlocking on a burst they can never bank.
+  std::chrono::nanoseconds acquire_at(std::size_t bytes, std::int64_t now_ns);
+
+  /// Acquire against the bucket's own steady clock and sleep out the
+  /// returned wait. This is what RateLimitedSource calls per read.
+  void acquire(std::size_t bytes);
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  /// Acquisitions that had to wait (cumulative, relaxed).
+  std::size_t waits() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double rate_;   ///< bytes per second; <= 0 disables pacing
+  double burst_;  ///< token cap in bytes
+  double tokens_;
+  std::int64_t last_ns_ = 0;
+  Timer clock_;
+  std::mutex mutex_;  ///< guards tokens_ and last_ns_
+  std::atomic<std::size_t> waits_{0};
+};
+
+/// BlockSource adapter that pays `bytes` tokens before every read. The
+/// inner source and the bucket must outlive the adapter; several
+/// adapters may share one bucket (one scrub budget across a fleet).
+class RateLimitedSource : public io::BlockSource {
+ public:
+  RateLimitedSource(io::BlockSource& inner, TokenBucket& bucket)
+      : inner_(&inner), bucket_(&bucket) {}
+
+  std::size_t block_count() const override { return inner_->block_count(); }
+  std::size_t block_bytes() const override { return inner_->block_bytes(); }
+  io::ReadStatus read(std::size_t block, std::uint8_t* dst,
+                      std::size_t bytes) override {
+    bucket_->acquire(bytes);
+    return inner_->read(block, dst, bytes);
+  }
+
+ private:
+  io::BlockSource* inner_;
+  TokenBucket* bucket_;
+};
+
+}  // namespace ppm::scrub

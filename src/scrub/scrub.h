@@ -1,0 +1,248 @@
+// Continuous scrub & proactive repair (ppm::scrub).
+//
+// A latent sector error is damage nobody has read yet: the stripe still
+// answers foreground decodes, but its effective redundancy has silently
+// shrunk, and the next *visible* failure may land on a stripe that can no
+// longer absorb it. The Scrubber closes that window. It patrols a fleet
+// of stripes behind the io::BlockSource seam and runs a three-stage
+// cycle:
+//
+//  1. SWEEP  — every block of every stripe is read (token-bucket paced,
+//              scrub/rate_limiter.h) and digest-checked against the
+//              fleet's expected CRC32s; unreadable or mismatching blocks
+//              are classified *latent*. Periodically a healthy stripe
+//              additionally gets a verify-decode spot check: one block is
+//              re-derived from the parity relations via
+//              Codec::decode_resilient and byte-verified, catching
+//              cross-block parity inconsistency that per-block digests
+//              cannot see.
+//  2. RANK   — damaged stripes are ordered by how close they are to
+//              unrecoverability, using the codec's own partition and
+//              capability model: stripes whose combined faulty set is
+//              already undecodable sort first, then by the probed number
+//              of additional erasures until failure, then by how much of
+//              the damage is coupled (needs the global H_rest solve
+//              rather than an isolated independent group), then by raw
+//              damage.
+//  3. REPAIR — most-at-risk first, each stripe's damage is re-checked
+//              (another repairer may have healed it — at-most-once),
+//              journaled as a write-ahead intent (scrub/journal.h),
+//              decoded through the full resilient ladder, written back
+//              through the stripe's BlockWriter, and the journal record
+//              sealed committed claiming exactly the blocks that were
+//              digest-verified and durably written.
+//
+// After a crash, replay() performs zero-trust recovery: every journal
+// record is re-loaded (seal + parse re-checked), every *claimed-repaired*
+// block of committed records is re-read and re-verified against the
+// fleet's expected digests — records whose claims do not hold are
+// quarantined, never believed — and intent-only records (the crash
+// evidence) surface their blocks for the next sweep/repair cycle.
+//
+// All scrub I/O — sweep reads, repair survivor fetches, replay
+// re-verification — pays one shared TokenBucket, so a scrub running
+// beside a DecodeServer stays inside its byte budget and the serving
+// p99 gate (docs/SERVING.md) keeps passing.
+//
+// Thread-safety: sweep/rank/repair/run_cycle/replay may be called
+// concurrently from several threads over one Scrubber; the per-stripe
+// claim set serializes repairs of the same stripe (at-most-once) while
+// distinct stripes repair in parallel. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "decode/scenario.h"
+#include "io/block_source.h"
+#include "scrub/journal.h"
+#include "scrub/rate_limiter.h"
+
+namespace ppm::scrub {
+
+/// One stripe under scrub patrol. The source/writer/blocks pointers must
+/// outlive the Scrubber; `blocks` is caller-owned scratch (one region per
+/// block) that repairs decode into before writing back — it is not the
+/// storage itself.
+struct ScrubTarget {
+  io::BlockSource* source = nullptr;  ///< required: where scrub reads
+  io::BlockWriter* writer = nullptr;  ///< optional: where repairs land
+  std::uint8_t* const* blocks = nullptr;  ///< decode scratch, one per block
+  std::vector<std::uint32_t> expected_crc;  ///< per-block truth digests
+  FailureScenario known_faulty;  ///< damage already known before scrubbing
+  std::string stripe_id;         ///< journal identity (sanitized on write)
+};
+
+/// Knobs of the scrub cycle. Defaults are test-friendly; deployments tune
+/// the rate to their medium.
+struct ScrubOptions {
+  /// Extra read attempts per block during sweeps (beyond the first)
+  /// before the block is classified unreadable.
+  std::size_t sweep_read_retries = 1;
+
+  /// Run a verify-decode spot check on one healthy stripe every
+  /// `spot_check_every` sweeps (round-robin over stripes and blocks).
+  /// 0 disables spot checks.
+  std::size_t spot_check_every = 0;
+
+  /// Token-bucket budget for all scrub I/O. rate <= 0 means unpaced.
+  double rate_bytes_per_sec = 0.0;
+  std::size_t burst_bytes = std::size_t{1} << 20;
+
+  /// Resilience ladder options for repair decodes.
+  ResilienceOptions repair;
+
+  /// Crash-injection test hook: after publishing this many journal
+  /// intents, the repair pass stops dead — no decode, no commit —
+  /// simulating a crash between begin() and commit(). 0 disables.
+  std::size_t crash_after_intents = 0;
+};
+
+/// Damage found in one stripe by one sweep.
+struct StripeDamage {
+  std::size_t stripe = 0;           ///< index into the scrubbed fleet
+  std::string stripe_id;
+  std::vector<std::size_t> latent;  ///< newly detected damaged blocks
+  std::size_t known = 0;            ///< known-faulty blocks (not re-scanned)
+  std::size_t read_failures = 0;
+  std::size_t crc_mismatches = 0;
+  bool spot_checked = false;
+  bool spot_check_ok = false;
+};
+
+struct SweepReport {
+  std::vector<StripeDamage> stripes;  ///< one entry per scrubbed stripe
+  std::size_t blocks_scanned = 0;
+  std::size_t read_failures = 0;
+  std::size_t crc_mismatches = 0;
+  std::size_t latent_total = 0;     ///< Σ latent across stripes
+  std::size_t spot_checks = 0;
+  std::size_t spot_check_failures = 0;
+  double seconds = 0.0;
+
+  /// Stripes with at least one latent or known-faulty block.
+  std::size_t damaged() const;
+};
+
+/// Risk assessment of one damaged stripe (see Scrubber::rank).
+struct RiskAssessment {
+  std::size_t stripe = 0;
+  std::string stripe_id;
+  std::vector<std::size_t> faulty;  ///< known ∪ latent, sorted
+  bool decodable = false;
+  /// Probed distance to unrecoverability: 0 = already undecodable,
+  /// 1 = some single additional erasure kills it, 2 = survives any one.
+  std::size_t erasures_to_failure = 0;
+  /// Damaged blocks whose recovery needs the coupled H_rest solve — the
+  /// partition could not isolate them into an independent group.
+  std::size_t coupled_faulty = 0;
+  double risk = 0.0;  ///< scalar for display; the sort is lexicographic
+};
+
+/// Outcome of one stripe's repair attempt.
+struct RepairOutcome {
+  std::size_t stripe = 0;
+  std::string stripe_id;
+  bool attempted = false;
+  bool skipped = false;    ///< healed or claimed by a concurrent repairer
+  bool complete = false;   ///< every damaged block recovered and verified
+  bool partial = false;
+  std::vector<std::size_t> repaired;      ///< recovered + digest-verified
+  std::vector<std::size_t> written_back;  ///< durably written via writer
+  std::uint64_t journal_seq = 0;  ///< 0 when no journal record was begun
+  bool committed = false;         ///< journal record sealed committed
+};
+
+struct RepairReport {
+  std::vector<RepairOutcome> outcomes;
+  std::size_t attempted = 0;
+  std::size_t completed = 0;
+  std::size_t partial = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::size_t blocks_repaired = 0;
+  bool crashed_for_test = false;  ///< crash_after_intents hook fired
+};
+
+struct CycleReport {
+  SweepReport sweep;
+  std::vector<RiskAssessment> ranking;
+  RepairReport repair;
+};
+
+/// Zero-trust journal replay result (see Scrubber::replay).
+struct ReplayReport {
+  std::size_t records = 0;           ///< records that passed seal + parse
+  std::size_t verified_commits = 0;  ///< committed, every claim re-verified
+  std::size_t false_claims = 0;      ///< claimed-repaired blocks that were not
+  std::size_t quarantined = 0;       ///< records renamed aside this replay
+  std::size_t pending_intents = 0;   ///< intent-only records (crash evidence)
+  std::size_t unmatched = 0;         ///< records naming no scrubbed stripe
+  /// Blocks named by pending intents that are still damaged right now —
+  /// the work the crashed repairer left behind, as (stripe, block) pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> outstanding;
+};
+
+class Scrubber {
+ public:
+  /// The codec and journal (optional, may be null) must outlive the
+  /// scrubber; the codec's code geometry must match every target.
+  Scrubber(Codec& codec, ScrubOptions options,
+           RepairJournal* journal = nullptr);
+
+  /// Register a stripe for patrol. Not thread-safe against concurrent
+  /// sweeps — build the fleet first, then scrub.
+  void add_target(ScrubTarget target);
+
+  std::size_t target_count() const { return targets_.size(); }
+  const ScrubTarget& target(std::size_t i) const { return targets_[i]; }
+
+  /// Stage 1: read + digest-check every block of every stripe.
+  SweepReport sweep();
+
+  /// Stage 2: risk-rank the sweep's damaged stripes, most-at-risk first.
+  std::vector<RiskAssessment> rank(const SweepReport& report);
+
+  /// Stage 3: repair in ranking order (at-most-once per stripe, journaled
+  /// when a journal is attached).
+  RepairReport repair(const std::vector<RiskAssessment>& ranking);
+
+  /// sweep → rank → repair, one full patrol cycle.
+  CycleReport run_cycle();
+
+  /// Crash recovery: zero-trust re-verification of every journal record
+  /// against the registered fleet. No-op (empty report) without a journal.
+  ReplayReport replay();
+
+  const TokenBucket& bucket() const { return bucket_; }
+
+ private:
+  /// Current damage of `target`: known faulty plus every block of
+  /// `candidates` that is unreadable or digest-mismatched *right now*.
+  std::vector<std::size_t> recheck_damage(
+      const ScrubTarget& target, const std::vector<std::size_t>& candidates);
+
+  /// Repair one stripe; appends the outcome. Returns false when the
+  /// crash hook fired and the pass must stop.
+  bool repair_stripe(const RiskAssessment& risk, RepairReport& report);
+
+  Codec* codec_;
+  ScrubOptions options_;
+  RepairJournal* journal_;
+  std::vector<ScrubTarget> targets_;
+  TokenBucket bucket_;
+
+  std::mutex claim_mutex_;
+  std::set<std::size_t> in_flight_;  ///< stripes being repaired right now
+
+  std::atomic<std::uint64_t> sweep_seq_{0};    ///< spot-check round-robin
+  std::atomic<std::uint64_t> intents_{0};      ///< crash-hook trigger count
+};
+
+}  // namespace ppm::scrub

@@ -92,13 +92,21 @@ bool CertStore::put(const Certificate& cert) {
   const std::filesystem::path path =
       dir_ / record_filename(cert.geometry);
   const std::filesystem::path tmp = path.string() + kTmpSuffix;
+  bool wrote = false;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << header << payload;
-    if (!out.good()) return false;
+    if (out) {
+      out << header << payload;
+      out.flush();
+      wrote = out.good();
+    }
   }
   std::error_code ec;
+  if (!wrote) {
+    // Never leave a torn temporary behind a failed write.
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
@@ -232,24 +240,37 @@ CertStore::CheckReport CertStore::check() {
   return report;
 }
 
-CertStore::GcReport CertStore::gc() {
+CertStore::GcReport CertStore::gc(std::size_t keep_quarantined) {
   std::scoped_lock lock(mutex_);
   GcReport report;
-  std::vector<std::filesystem::path> doomed_quarantine;
+  std::vector<std::filesystem::path> quarantined;
   std::vector<std::filesystem::path> doomed_tmp;
   std::error_code ec;
   for (const auto& de :
        std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = de.path().filename().string();
     if (name.ends_with(kQuarantineSuffix)) {
-      doomed_quarantine.push_back(de.path());
+      quarantined.push_back(de.path());
     } else if (name.ends_with(kTmpSuffix)) {
       doomed_tmp.push_back(de.path());
     }
   }
-  for (const auto& p : doomed_quarantine) {
+  // Newest quarantined files (write time, then name) survive as the
+  // forensic window; everything older goes.
+  std::sort(quarantined.begin(), quarantined.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              std::error_code ta_ec;
+              std::error_code tb_ec;
+              const auto ta = std::filesystem::last_write_time(a, ta_ec);
+              const auto tb = std::filesystem::last_write_time(b, tb_ec);
+              if (ta != tb) return ta > tb;
+              return a.filename().string() > b.filename().string();
+            });
+  for (std::size_t i = keep_quarantined; i < quarantined.size(); ++i) {
     std::error_code rm;
-    if (std::filesystem::remove(p, rm)) ++report.removed_quarantined;
+    if (std::filesystem::remove(quarantined[i], rm)) {
+      ++report.removed_quarantined;
+    }
   }
   for (const auto& p : doomed_tmp) {
     std::error_code rm;

@@ -73,8 +73,9 @@ class CertStore {
     std::size_t removed_quarantined = 0;
     std::size_t removed_tmp = 0;
   };
-  /// Removes quarantined records and stale temp files.
-  GcReport gc();
+  /// Removes quarantined records and stale temp files, keeping the
+  /// newest `keep_quarantined` quarantined files for forensics.
+  GcReport gc(std::size_t keep_quarantined = 0);
 
   static std::string record_filename(const Geometry& g);
 

@@ -423,5 +423,33 @@ TEST(PlanStore, CheckReportsAndGcRemovesQuarantined) {
   }
 }
 
+TEST(PlanStore, GcRetainsTheNewestQuarantinedFiles) {
+  // Quarantined records are forensic evidence: gc(keep) must age out the
+  // oldest ones and keep exactly the `keep` newest, never all of them
+  // forever and never the ones an operator still wants to inspect.
+  const StoreDir dir("gc_retention");
+  planstore::PlanStore store(dir.path());
+  const auto now = fs::file_time_type::clock::now();
+  for (int i = 0; i < 4; ++i) {
+    const fs::path p =
+        dir.path() / ("rot" + std::to_string(i) + ".plan.quarantined");
+    write_file(p, {static_cast<std::uint8_t>(i)});
+    // Distinct mtimes, oldest first, so the retention order is pinned.
+    fs::last_write_time(p, now - std::chrono::hours(10 - i));
+  }
+
+  const auto gc = store.gc(/*keep_quarantined=*/2);
+  EXPECT_EQ(gc.removed_quarantined, 2u);
+  EXPECT_FALSE(fs::exists(dir.path() / "rot0.plan.quarantined"));
+  EXPECT_FALSE(fs::exists(dir.path() / "rot1.plan.quarantined"));
+  EXPECT_TRUE(fs::exists(dir.path() / "rot2.plan.quarantined"));
+  EXPECT_TRUE(fs::exists(dir.path() / "rot3.plan.quarantined"));
+
+  // keep >= count removes nothing.
+  EXPECT_EQ(store.gc(10).removed_quarantined, 0u);
+  // Default retention stays zero: everything quarantined goes.
+  EXPECT_EQ(store.gc().removed_quarantined, 2u);
+}
+
 }  // namespace
 }  // namespace ppm

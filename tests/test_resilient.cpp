@@ -92,6 +92,113 @@ TEST(Backoff, ClampsToRemainingDeadline) {
             0);
 }
 
+TEST(Backoff, JitterDrawsStayInsideTheConfiguredBand) {
+  // Satellite: each jittered backoff is uniform in
+  // [(1 - jitter) * base, base] — never above the exponential schedule
+  // (the deadline math still holds) and never below the band's floor
+  // (the retry still backs off).
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::nanoseconds{10000};
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = std::chrono::nanoseconds{10000000};
+  options.backoff_jitter = 0.5;
+  Rng rng(42);
+  for (std::size_t retry = 0; retry < 6; ++retry) {
+    const auto base = backoff_delay(options, retry);
+    for (int draw = 0; draw < 64; ++draw) {
+      const auto jittered = backoff_delay(options, retry, rng);
+      EXPECT_LE(jittered.count(), base.count());
+      EXPECT_GE(jittered.count(),
+                static_cast<std::int64_t>(0.5 * base.count()));
+    }
+  }
+}
+
+TEST(Backoff, JitterActuallySpreadsTheSchedule) {
+  // The point of jitter is decorrelation: concurrent decodes with
+  // distinct streams must not sleep in lockstep.
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::microseconds{100};
+  options.backoff_jitter = 0.5;
+  Rng a(1);
+  Rng b(2);
+  std::size_t distinct = 0;
+  for (std::size_t retry = 0; retry < 8; ++retry) {
+    if (backoff_delay(options, retry, a) != backoff_delay(options, retry, b)) {
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 0u);
+}
+
+TEST(Backoff, JitterIsReplayableFromAPinnedSeed) {
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::nanoseconds{5000};
+  options.backoff_jitter = 0.3;
+  Rng a(7);
+  Rng b(7);
+  for (std::size_t retry = 0; retry < 8; ++retry) {
+    EXPECT_EQ(backoff_delay(options, retry, a).count(),
+              backoff_delay(options, retry, b).count());
+  }
+}
+
+TEST(Backoff, ZeroJitterConsumesNoDrawAndMatchesTheBaseForm) {
+  // jitter == 0 must be bit-identical to the deterministic schedule and
+  // must not advance the rng — existing pinned campaigns cannot drift.
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::nanoseconds{1000};
+  Rng rng(9);
+  Rng untouched(9);
+  for (std::size_t retry = 0; retry < 5; ++retry) {
+    EXPECT_EQ(backoff_delay(options, retry, rng).count(),
+              backoff_delay(options, retry).count());
+  }
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(Backoff, JitterAboveOneIsClampedToTheFullBand) {
+  ResilienceOptions options;
+  options.initial_backoff = std::chrono::nanoseconds{8000};
+  options.backoff_jitter = 7.5;  // treated as 1.0: band is [0, base]
+  Rng rng(3);
+  for (std::size_t retry = 0; retry < 6; ++retry) {
+    const auto jittered = backoff_delay(options, retry, rng);
+    EXPECT_GE(jittered.count(), 0);
+    EXPECT_LE(jittered.count(), backoff_delay(options, retry).count());
+  }
+}
+
+TEST(Backoff, JitteredRetryLoopKeepsTheDeadlineClamp) {
+  // Jitter composes with the deadline: jitter first, clamp second — a
+  // jittered ladder still cannot oversleep a short deadline.
+  const RSCode code(6, 3, 8);
+  Codec codec(code);
+  Stripe stripe(code, 512);
+  const auto snap = test::fill_and_encode(code, stripe, 78);
+  const FailureScenario sc({1});
+  stripe.erase(sc);
+  const auto ptrs = snapshot_ptrs(snap, code.total_blocks(), 512);
+  MemoryBlockSource inner(ptrs.data(), code.total_blocks(), 512);
+  FaultInjectingSource source(inner);
+  FaultSpec dead;
+  dead.fail_always = true;
+  for (std::size_t b = 0; b < code.total_blocks(); ++b) {
+    if (b != 1) source.set_fault(b, dead);
+  }
+  ResilienceOptions options;
+  options.max_read_retries = 4;
+  options.initial_backoff = std::chrono::seconds{10};
+  options.backoff_jitter = 0.5;
+  options.jitter_seed = 1234;
+  options.deadline = std::chrono::milliseconds{20};
+  const Timer timer;
+  const auto out =
+      codec.decode_resilient(sc, source, stripe.block_ptrs(), 512, options);
+  EXPECT_FALSE(out.complete);
+  EXPECT_LT(timer.seconds(), 2.0);
+}
+
 TEST(Backoff, RetryLoopNeverOversleepsTheDeadline) {
   // Regression: a huge initial backoff plus a short deadline must not
   // stall the decode for the full backoff — the clamped sleep keeps the

@@ -4,6 +4,7 @@
 // round-trip and the cert store's zero-trust tamper handling.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -380,6 +381,44 @@ TEST_F(CertStoreTest, CrcResealedTamperIsQuarantinedAndRecertified) {
   EXPECT_EQ(gc.removed_quarantined, 1u);
   EXPECT_FALSE(
       std::filesystem::exists(path.string() + ".quarantined"));
+}
+
+TEST_F(CertStoreTest, GcRetainsTheNewestQuarantinedFiles) {
+  // Same retention contract as the plan store: gc(keep) ages out the
+  // oldest quarantined certificates and keeps the `keep` newest as the
+  // forensic window.
+  CertStore store(dir_);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (int i = 0; i < 3; ++i) {
+    const std::filesystem::path p =
+        dir_ / ("rot" + std::to_string(i) + ".cert.quarantined");
+    std::ofstream(p) << "junk" << i;
+    std::filesystem::last_write_time(p, now - std::chrono::hours(10 - i));
+  }
+
+  EXPECT_EQ(store.gc(/*keep_quarantined=*/1).removed_quarantined, 2u);
+  EXPECT_FALSE(
+      std::filesystem::exists(dir_ / "rot0.cert.quarantined"));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir_ / "rot1.cert.quarantined"));
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ / "rot2.cert.quarantined"));
+  EXPECT_EQ(store.gc().removed_quarantined, 1u);
+}
+
+TEST_F(CertStoreTest, PutFailureLeavesNoTmpBehind) {
+  // A directory planted at the record path blocks the atomic rename:
+  // put() must report false and must not leak the staged .tmp file.
+  CertStore store(dir_);
+  const CertifyResult res = certify_tuple(kPaper, kPaperTuple);
+  ASSERT_TRUE(res.certified);
+  const std::filesystem::path record =
+      dir_ / CertStore::record_filename(kPaper);
+  std::filesystem::create_directories(record);
+
+  EXPECT_FALSE(store.put(res.cert));
+  EXPECT_TRUE(std::filesystem::is_directory(record));  // untouched
+  EXPECT_FALSE(std::filesystem::exists(record.string() + ".tmp"));
 }
 
 }  // namespace

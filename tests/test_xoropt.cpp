@@ -263,7 +263,9 @@ TEST(XorOpt, OptimizedScheduleRunsUnitParallelByteIdentically) {
   // Whether the DAG engaged or the provable-safety screen fell back to
   // serial, the bytes above already had to be exact; just pin that the
   // report is coherent.
-  if (report.parallel) EXPECT_GE(report.workers, 2u);
+  if (report.parallel) {
+    EXPECT_GE(report.workers, 2u);
+  }
 }
 
 TEST(XorOpt, TamperedRewritesAreRejectedAndBaseSurvives) {

@@ -23,7 +23,15 @@
 //                    [--requests N] [--straggle P] [--delay-us U]  hedged reads
 //                    [--queue D] [--dispatchers N] [--reactors N]  + overlapped
 //                    [--serial 0|1] [--assert-ratio P] [--assert-floor-us U]
-//                    group solves vs the serial resilient baseline
+//                    [--scrub-rate-kbps K]   group solves vs the serial
+//                    resilient baseline, optionally beside a rate-limited
+//                    background scrubber
+//   ppm_cli scrub    --code <family> [params]      continuous-scrub campaign:
+//                    [--stripes N] [--epochs E] [--seed S]   seeded latent-
+//                    [--permanent P] [--corrupt P]   error arrivals, sweep +
+//                    [--rate-kbps K] [--retries N] [--spot-every N]  risk-
+//                    [--dir <journal>] [--drill 1] [--metrics 1]   ranked
+//                    repair + crash-consistent journal (see ROBUSTNESS.md)
 //   ppm_cli search {certify|best|ls|check|gc}      coefficient certification:
 //                    [--n N --r R --m M --s S --w W]   exhaustively prove a
 //                    [--coeffs a,b,...] [--dir <d>]    tuple (certify), search
@@ -43,17 +51,21 @@
 // (family worst case) — number of whole-disk failures for the generic
 // generator.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ppm.h"
@@ -1018,6 +1030,67 @@ int cmd_serve(const ErasureCode& code, const Args& args) {
     server.shutdown();
   };
 
+  // Optional background scrubber (--scrub-rate-kbps): a token-bucket
+  // rate-limited Scrubber patrols its own small fleet for the whole
+  // campaign, continuously finding and repairing planted corruption.
+  // It shares the process (allocator, caches, cores) with the serving
+  // path — the p99 ratio gate below then proves a paced scrub does not
+  // break the serving SLO.
+  const double scrub_rate_kbps =
+      static_cast<double>(args.get("scrub-rate-kbps", 0));
+  std::vector<std::unique_ptr<Stripe>> scrub_storage;
+  std::vector<std::unique_ptr<Stripe>> scrub_scratch;
+  std::vector<std::unique_ptr<io::MemoryBlockStore>> scrub_stores;
+  std::vector<std::unique_ptr<io::FaultInjectingSource>> scrub_seams;
+  std::optional<Codec> scrub_codec;
+  std::optional<scrub::Scrubber> scrubber;
+  std::atomic<bool> scrub_stop{false};
+  std::size_t scrub_cycles = 0;
+  std::thread scrub_thread;
+  if (scrub_rate_kbps > 0.0) {
+    scrub_codec.emplace(code);  // own plan cache: don't pollute serving's
+    scrub::ScrubOptions scrub_opt;
+    scrub_opt.rate_bytes_per_sec = scrub_rate_kbps * 1024.0;
+    scrub_opt.sweep_read_retries = retries;
+    scrub_opt.repair.max_read_retries = retries;
+    scrubber.emplace(*scrub_codec, scrub_opt);
+    for (std::size_t i = 0; i < 2; ++i) {
+      auto storage = std::make_unique<Stripe>(code, block);
+      for (std::size_t b = 0; b < total; ++b) {
+        std::memcpy(storage->block(b), backing[b], block);
+      }
+      auto store = std::make_unique<io::MemoryBlockStore>(
+          storage->block_ptrs(), total, block);
+      auto seam = std::make_unique<io::FaultInjectingSource>(*store, *store);
+      scrub::ScrubTarget target;
+      target.source = seam.get();
+      target.writer = seam.get();
+      scrub_scratch.push_back(std::make_unique<Stripe>(code, block));
+      target.blocks = scrub_scratch.back()->block_ptrs();
+      target.expected_crc = digests;
+      target.stripe_id = "serve-scrub-" + std::to_string(i);
+      scrubber->add_target(std::move(target));
+      scrub_storage.push_back(std::move(storage));
+      scrub_stores.push_back(std::move(store));
+      scrub_seams.push_back(std::move(seam));
+    }
+    scrub_thread = std::thread([&] {
+      std::size_t iter = 0;
+      while (!scrub_stop.load(std::memory_order_relaxed)) {
+        // Plant a fresh silent corruption each cycle; only this thread
+        // touches these seams, so set_fault/run_cycle never race.
+        io::FaultSpec rot;
+        rot.corrupt = true;
+        rot.corrupt_offset = iter % block;
+        rot.corrupt_bytes = 4;
+        scrub_seams[iter % scrub_seams.size()]->set_fault(iter % total, rot);
+        scrubber->run_cycle();
+        ++scrub_cycles;
+        ++iter;
+      }
+    });
+  }
+
   PhaseStats clean;
   PhaseStats hedged;
   PhaseStats serial;
@@ -1056,6 +1129,15 @@ int cmd_serve(const ErasureCode& code, const Args& args) {
         }
       }
     }
+  }
+
+  if (scrub_thread.joinable()) {
+    scrub_stop.store(true, std::memory_order_relaxed);
+    scrub_thread.join();
+    std::fprintf(stderr,
+                 "%s: background scrub: %zu cycle(s) at %.0f KiB/s beside "
+                 "the serving campaign\n",
+                 code.name().c_str(), scrub_cycles, scrub_rate_kbps);
   }
 
   const std::size_t verify_failures = clean.verify_failures +
@@ -1125,6 +1207,301 @@ int cmd_serve(const ErasureCode& code, const Args& args) {
     }
   }
   return 0;
+}
+
+// Continuous-scrub campaign (docs/ROBUSTNESS.md, "Scrubbing & proactive
+// repair"):
+//
+//   ppm_cli scrub --code <family> [params] [--stripes N] [--block B]
+//           [--seed S] [--epochs E] [--permanent P] [--corrupt P]
+//           [--rate-kbps K] [--retries N] [--spot-every N]
+//           [--dir <journal dir>] [--drill 1] [--metrics 1]
+//
+// A fleet of --stripes independent stripes sits behind read/write fault
+// seams. Latent errors (permanent death, silent corruption; percentages
+// per block) *arrive* on a seeded epoch schedule (roll_arrivals); each
+// epoch the scrubber sweeps, risk-ranks and repairs, writing repaired
+// blocks back through the seam (which heals the fault — the storage is
+// actually fixed, not re-detected forever).
+//
+// The campaign is judged against the schedule alone, like `chaos`:
+//   * every scheduled arrival must appear in some sweep's latent set
+//     (zero detection misses);
+//   * every stripe whose cumulative damage stays within the code's
+//     capability at every epoch must end byte-identical to its reference
+//     with zero residual damage in a final sweep;
+//   * with a journal attached, a closing zero-trust replay must verify
+//     every committed claim (zero false "repaired" claims).
+// Exit 1 on any miss. Deterministic from --seed.
+//
+// --drill 1 runs the crash-replay drill instead: plant one latent error,
+// crash the repairer between journal intent and commit
+// (crash_after_intents), restart with a fresh journal + scrubber, and
+// require replay to surface the pending intent with no false claims
+// before the re-run repairs and re-verifies cleanly.
+int cmd_scrub(const ErasureCode& code, const Args& args) {
+  const std::size_t block = args.get("block", 4096);
+  const std::size_t stripes = std::max<std::size_t>(1, args.get("stripes", 6));
+  const std::size_t epochs = std::max<std::size_t>(1, args.get("epochs", 4));
+  const std::size_t retries = args.get("retries", 3);
+  const std::uint64_t seed = args.get("seed", 1);
+  const std::string dir = args.get("dir", std::string{});
+  const bool drill = args.get("drill", 0) != 0;
+
+  io::FaultInjectingSource::ArrivalOptions arrivals;
+  arrivals.fail_permanent =
+      static_cast<double>(args.get("permanent", 6)) / 100.0;
+  arrivals.corrupt = static_cast<double>(args.get("corrupt", 8)) / 100.0;
+  arrivals.epochs = epochs;
+
+  const std::size_t total = code.total_blocks();
+
+  // The fleet: per stripe, mutable storage (the "disks"), a decode
+  // scratch stripe, reference snapshot + digests, and the store/fault
+  // seam the scrubber patrols through.
+  struct Member {
+    std::unique_ptr<Stripe> storage;
+    std::unique_ptr<Stripe> scratch;
+    std::vector<std::uint8_t> snap;
+    std::vector<std::uint32_t> digests;
+    std::unique_ptr<io::MemoryBlockStore> store;
+    std::unique_ptr<io::FaultInjectingSource> seam;
+  };
+  const TraditionalDecoder trad(code);
+  Rng fill_rng(seed + 17);
+  std::vector<Member> fleet(stripes);
+  for (Member& m : fleet) {
+    m.storage = std::make_unique<Stripe>(code, block);
+    m.storage->fill_data(fill_rng);
+    if (!trad.encode(m.storage->block_ptrs(), block)) return 1;
+    m.snap = m.storage->snapshot();
+    m.digests.resize(total);
+    for (std::size_t b = 0; b < total; ++b) {
+      m.digests[b] = crc32(m.storage->block(b), block);
+    }
+    m.scratch = std::make_unique<Stripe>(code, block);
+    m.store = std::make_unique<io::MemoryBlockStore>(
+        m.storage->block_ptrs(), total, block);
+    m.seam = std::make_unique<io::FaultInjectingSource>(*m.store, *m.store);
+  }
+
+  Codec codec(code);
+  scrub::ScrubOptions sopt;
+  sopt.sweep_read_retries = retries;
+  sopt.spot_check_every = args.get("spot-every", 0);
+  sopt.rate_bytes_per_sec =
+      static_cast<double>(args.get("rate-kbps", 0)) * 1024.0;
+  sopt.repair.max_read_retries = retries;
+
+  const auto add_targets = [&](scrub::Scrubber& scrubber) {
+    for (std::size_t i = 0; i < stripes; ++i) {
+      scrub::ScrubTarget target;
+      target.source = fleet[i].seam.get();
+      target.writer = fleet[i].seam.get();
+      target.blocks = fleet[i].scratch->block_ptrs();
+      target.expected_crc = fleet[i].digests;
+      target.stripe_id = "stripe-" + std::to_string(i);
+      scrubber.add_target(std::move(target));
+    }
+  };
+
+  std::size_t failures = 0;
+  const auto flag = [&](const char* what) {
+    ++failures;
+    std::fprintf(stderr, "VERIFY FAIL: %s\n", what);
+  };
+  const auto print_metrics = [&] {
+    if (args.get("metrics", 0) != 0) {
+      std::fprintf(stderr, "%s\n", scrub_metrics().to_json().c_str());
+    }
+  };
+
+  if (drill) {
+    if (dir.empty()) {
+      std::fprintf(stderr, "scrub --drill requires --dir <journal dir>\n");
+      return 2;
+    }
+    // The drill is a self-contained simulation: start from an empty
+    // journal so records from an earlier drill cannot be mistaken for
+    // this run's crash evidence.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    // Plant one silent corruption, then crash between intent and commit.
+    const std::size_t victim = 1 % total;
+    io::FaultSpec rot;
+    rot.corrupt = true;
+    rot.corrupt_offset = 3 % block;
+    rot.corrupt_bytes = 8;
+    fleet[0].seam->set_fault(victim, rot);
+    {
+      scrub::ScrubOptions crash_opt = sopt;
+      crash_opt.crash_after_intents = 1;
+      scrub::RepairJournal wal(dir);
+      scrub::Scrubber crasher(codec, crash_opt, &wal);
+      add_targets(crasher);
+      const scrub::CycleReport cycle = crasher.run_cycle();
+      if (cycle.sweep.latent_total == 0) flag("drill: corruption not detected");
+      if (!cycle.repair.crashed_for_test) flag("drill: crash hook never fired");
+      if (cycle.repair.completed != 0) {
+        flag("drill: a repair committed before the crash");
+      }
+    }
+    // "Restart": fresh journal + scrubber over the same fleet. Replay
+    // must surface the pending intent, claim nothing repaired, and hand
+    // the outstanding damage to the next cycle.
+    scrub::RepairJournal wal(dir);
+    scrub::Scrubber scrubber(codec, sopt, &wal);
+    add_targets(scrubber);
+    const scrub::ReplayReport replay = scrubber.replay();
+    if (replay.pending_intents == 0) flag("drill: no pending intent found");
+    if (replay.false_claims != 0) flag("drill: false repaired claim");
+    if (replay.outstanding.empty()) {
+      flag("drill: outstanding damage not surfaced");
+    }
+    const scrub::CycleReport cycle = scrubber.run_cycle();
+    if (cycle.repair.completed == 0) {
+      flag("drill: post-restart repair did not complete");
+    }
+    if (!fleet[0].storage->equals(fleet[0].snap)) {
+      flag("drill: repaired stripe not byte-identical");
+    }
+    const scrub::ReplayReport replay2 = scrubber.replay();
+    if (replay2.false_claims != 0) flag("drill: committed claim re-verify");
+    if (!replay2.outstanding.empty()) flag("drill: damage survived repair");
+    std::printf(
+        "{\"code\":\"%s\",\"drill\":true,\"pending_intents\":%zu,"
+        "\"false_claims\":%zu,\"verified_commits\":%zu,"
+        "\"verify_failures\":%zu}\n",
+        code.name().c_str(), replay.pending_intents,
+        replay.false_claims + replay2.false_claims, replay2.verified_commits,
+        failures);
+    print_metrics();
+    return failures == 0 ? 0 : 1;
+  }
+
+  // Roll every stripe's arrival schedule from one seeded stream; the
+  // schedule is the oracle everything below is judged against.
+  Rng rng(seed);
+  for (Member& m : fleet) m.seam->roll_arrivals(arrivals, rng);
+  std::size_t scheduled = 0;
+  for (const Member& m : fleet) scheduled += m.seam->arrivals().size();
+
+  std::optional<scrub::RepairJournal> journal;
+  if (!dir.empty()) {
+    // The campaign owns its journal dir: records from an earlier run
+    // would be replayed against this run's fleet and judged as stale.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    journal.emplace(dir);
+  }
+  scrub::Scrubber scrubber(codec, sopt,
+                           journal.has_value() ? &*journal : nullptr);
+  add_targets(scrubber);
+
+  std::set<std::pair<std::size_t, std::size_t>> detected;
+  std::size_t landed = 0;
+  std::size_t repairs_attempted = 0;
+  std::size_t repairs_completed = 0;
+  std::size_t repairs_partial = 0;
+  std::size_t repairs_failed = 0;
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    for (Member& m : fleet) landed += m.seam->advance_epoch();
+    const scrub::CycleReport cycle = scrubber.run_cycle();
+    for (const scrub::StripeDamage& damage : cycle.sweep.stripes) {
+      for (const std::size_t b : damage.latent) {
+        detected.insert({damage.stripe, b});
+      }
+    }
+    repairs_attempted += cycle.repair.attempted;
+    repairs_completed += cycle.repair.completed;
+    repairs_partial += cycle.repair.partial;
+    repairs_failed += cycle.repair.failed;
+  }
+  const scrub::SweepReport final_sweep = scrubber.sweep();
+
+  // Judge 1: zero detection misses. Every scheduled arrival was
+  // installed before its epoch's sweep ran, so it must have been seen.
+  std::size_t missed = 0;
+  for (std::size_t i = 0; i < stripes; ++i) {
+    for (const auto& arrival : fleet[i].seam->arrivals()) {
+      if (detected.count({i, arrival.block}) == 0) {
+        ++missed;
+        std::fprintf(stderr,
+                     "VERIFY FAIL: stripe %zu block %zu (epoch %zu) "
+                     "was never detected\n",
+                     i, arrival.block, arrival.epoch);
+        ++failures;
+      }
+    }
+  }
+
+  // Judge 2: schedule-derived repair expectation. Replay the arrival
+  // schedule through the capability model: damage accumulates per epoch
+  // and clears whenever the cumulative set is decodable (that is what a
+  // correct scrub cycle must achieve, since writebacks heal the seam).
+  // A stripe that ever exceeds capability is excused from then on —
+  // partial recovery there is best-effort.
+  for (std::size_t i = 0; i < stripes; ++i) {
+    std::vector<std::size_t> active;
+    bool excused = false;
+    for (std::size_t epoch = 1; epoch <= epochs && !excused; ++epoch) {
+      for (const auto& arrival : fleet[i].seam->arrivals()) {
+        if (arrival.epoch == epoch) active.push_back(arrival.block);
+      }
+      const FailureScenario sc(active);
+      if (sc.count() <= code.check_rows() &&
+          codec.plan_for(sc) != nullptr) {
+        active.clear();
+      } else if (!sc.empty()) {
+        excused = true;
+      }
+    }
+    if (excused) continue;
+    if (!fleet[i].storage->equals(fleet[i].snap)) {
+      std::fprintf(stderr,
+                   "VERIFY FAIL: within-capability stripe %zu not "
+                   "byte-identical after repair\n",
+                   i);
+      ++failures;
+    }
+    if (!final_sweep.stripes[i].latent.empty()) {
+      std::fprintf(stderr,
+                   "VERIFY FAIL: stripe %zu has residual damage after "
+                   "the campaign\n",
+                   i);
+      ++failures;
+    }
+  }
+
+  // Judge 3: with a journal, every committed claim must re-verify.
+  std::size_t false_claims = 0;
+  std::size_t verified_commits = 0;
+  if (journal.has_value()) {
+    const scrub::ReplayReport replay = scrubber.replay();
+    false_claims = replay.false_claims;
+    verified_commits = replay.verified_commits;
+    if (false_claims != 0) flag("journal replay found false claims");
+  }
+
+  std::fprintf(stderr,
+               "%s: scrub campaign: %zu stripe(s) x %zu epoch(s), %zu "
+               "arrival(s) (%zu landed), %zu detected, %zu missed, "
+               "repairs %zu/%zu complete, %zu verify failure(s)\n",
+               code.name().c_str(), stripes, epochs, scheduled, landed,
+               detected.size(), missed, repairs_completed, repairs_attempted,
+               failures);
+  std::printf(
+      "{\"code\":\"%s\",\"stripes\":%zu,\"epochs\":%zu,\"arrivals\":%zu,"
+      "\"detected\":%zu,\"missed\":%zu,\"repairs\":{\"attempted\":%zu,"
+      "\"completed\":%zu,\"partial\":%zu,\"failed\":%zu},"
+      "\"journal\":{\"verified_commits\":%zu,\"false_claims\":%zu},"
+      "\"rate_limit_waits\":%zu,\"verify_failures\":%zu}\n",
+      code.name().c_str(), stripes, epochs, scheduled, detected.size(),
+      missed, repairs_attempted, repairs_completed, repairs_partial,
+      repairs_failed, verified_commits, false_claims,
+      scrubber.bucket().waits(), failures);
+  print_metrics();
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_selftest(const ErasureCode& code, const Args& args) {
@@ -1247,14 +1624,14 @@ int cmd_store(const ErasureCode& code, const Args& args) {
 
   if (action == "gc") {
     planstore::PlanStore store(dir);
-    const auto report = store.gc();
+    const auto report = store.gc(args.get("keep-quarantined", 0));
     std::printf("{\"removed_quarantined\":%zu,\"removed_tmp\":%zu}\n",
                 report.removed_quarantined, report.removed_tmp);
     return 0;
   }
 
   std::fprintf(stderr, "usage: ppm_cli store {build|ls|check|gc} --dir <d> "
-               "[--code ... --sweep N]\n");
+               "[--code ... --sweep N] [--keep-quarantined N]\n");
   return 2;
 }
 
@@ -1437,7 +1814,7 @@ int cmd_search(const Args& args) {
 
   if (action == "gc") {
     coeffsearch::CertStore store(dir);
-    const auto report = store.gc();
+    const auto report = store.gc(args.get("keep-quarantined", 0));
     std::printf("{\"removed_quarantined\":%zu,\"removed_tmp\":%zu}\n",
                 report.removed_quarantined, report.removed_tmp);
     return 0;
@@ -1448,7 +1825,7 @@ int cmd_search(const Args& args) {
                "[--n N --r R --m M --s S --w W] [--coeffs a,b,...] "
                "[--dir <d>] [--candidates N] [--plan-budget N] "
                "[--exact-limit N] [--classes N] [--allow-deficient 1] "
-               "[--metrics 1]\n");
+               "[--keep-quarantined N] [--metrics 1]\n");
   return 2;
 }
 
@@ -1459,7 +1836,7 @@ int main(int argc, char** argv) {
   if (args.command.empty()) {
     std::fprintf(stderr,
                  "usage: %s {info|costs|bench|batch|selftest|sim|verify|"
-                 "analyze|store|chaos|serve|search} "
+                 "analyze|store|chaos|serve|scrub|search} "
                  "--code {sd|pmds|lrc|xorbas|rs|crs|evenodd|rdp|star} "
                  "[params]\n"
                  "       %s store {build|ls|check|gc} --dir <dir> [params]\n"
@@ -1468,11 +1845,14 @@ int main(int argc, char** argv) {
                  "[--straggle P] [--retries N]\n"
                  "       %s serve --code <family> [--sweep N] [--seed S] "
                  "[--rounds R] [--requests N] [--straggle P] [--delay-us U] "
-                 "[--serial 0|1] [--assert-ratio P]\n"
+                 "[--serial 0|1] [--assert-ratio P] [--scrub-rate-kbps K]\n"
+                 "       %s scrub --code <family> [--stripes N] [--epochs E] "
+                 "[--seed S] [--permanent P] [--corrupt P] [--rate-kbps K] "
+                 "[--dir <d>] [--drill 1]\n"
                  "       %s search {certify|best|ls|check|gc} "
                  "[--n N --r R --m M --s S --w W] [--coeffs a,b,...] "
                  "[--dir <d>]\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
@@ -1492,6 +1872,7 @@ int main(int argc, char** argv) {
     if (args.command == "store") return cmd_store(*code, args);
     if (args.command == "chaos") return cmd_chaos(*code, args);
     if (args.command == "serve") return cmd_serve(*code, args);
+    if (args.command == "scrub") return cmd_scrub(*code, args);
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {
